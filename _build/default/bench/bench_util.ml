@@ -1,0 +1,43 @@
+(* Small wrapper around Bechamel: estimate the per-run execution time
+   of a thunk by OLS over monotonic-clock samples, and print aligned
+   result tables. *)
+
+open Bechamel
+open Toolkit
+
+let cfg =
+  Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None
+    ~stabilize:false ()
+
+(* Estimated nanoseconds per run. *)
+let time_ns ~name fn =
+  let test = Test.make ~name (Staged.stage fn) in
+  let elt =
+    match Test.elements test with
+    | [ elt ] -> elt
+    | _ -> assert false
+  in
+  let result = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let est = Analyze.one ols Instance.monotonic_clock result in
+  match Analyze.OLS.estimates est with
+  | Some [ t ] -> t
+  | Some _ | None -> Float.nan
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let row cells =
+  Printf.printf "  %s\n%!"
+    (String.concat " | " (List.map (fun (w, s) -> Printf.sprintf "%-*s" w s) cells))
+
+let rule () = Printf.printf "  %s\n%!" (String.make 66 '-')

@@ -1,0 +1,318 @@
+(* cqsep — command-line interface to the separability library.
+
+   Databases are given in the text format of {!Textfmt}:
+     R(a, b)      facts
+     +a  -b  ?c   positive / negative / unlabeled entities
+
+   Subcommands: info, sep, generate, classify. *)
+
+let read_training path =
+  Textfmt.training_of_document (Textfmt.parse_file path)
+
+let read_db path = (Textfmt.parse_file path).Textfmt.db
+
+(* --- argument converters -------------------------------------------- *)
+
+let lang_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let fail () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown language %S (expected cq, cq[m], cq[m,p], ghw(k), fo, \
+            foK, epfo)"
+           s))
+  in
+  if s = "cq" then Ok Language.Cq_all
+  else if s = "fo" then Ok Language.Fo
+  else if s = "epfo" then Ok Language.Epfo
+  else if String.length s > 2 && String.sub s 0 2 = "fo" then begin
+    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+    | Some k when k >= 1 -> Ok (Language.Fo_k k)
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "bad FO_k language %S (expected e.g. fo2)" s))
+  end
+  else begin
+    try
+      if String.length s > 3 && String.sub s 0 3 = "cq[" then begin
+        let body = String.sub s 3 (String.length s - 4) in
+        match String.split_on_char ',' body with
+        | [ m ] -> Ok (Language.Cq_atoms { m = int_of_string m; p = None })
+        | [ m; p ] ->
+            Ok
+              (Language.Cq_atoms
+                 { m = int_of_string m; p = Some (int_of_string p) })
+        | _ -> fail ()
+      end
+      else if String.length s > 4 && String.sub s 0 4 = "ghw(" then begin
+        let body = String.sub s 4 (String.length s - 5) in
+        Ok (Language.Ghw (int_of_string body))
+      end
+      else fail ()
+    with _ -> fail ()
+  end
+
+let lang_conv =
+  let printer fmt l = Language.pp fmt l in
+  Cmdliner.Arg.conv (lang_of_string, printer)
+
+let rat_of_string s =
+  try
+    match String.split_on_char '/' (String.trim s) with
+    | [ n ] -> Ok (Rat.of_int (int_of_string n))
+    | [ n; d ] -> Ok (Rat.of_ints (int_of_string n) (int_of_string d))
+    | _ -> Error (`Msg "expected a rational like 1/4")
+  with _ -> Error (`Msg "expected a rational like 1/4")
+
+let rat_conv = Cmdliner.Arg.conv (rat_of_string, fun fmt r -> Rat.pp fmt r)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Log decisions of the core library.")
+
+let lang_arg =
+  Arg.(
+    value
+    & opt lang_conv (Language.Cq_atoms { m = 2; p = None })
+    & info [ "l"; "lang" ] ~docv:"LANG"
+        ~doc:
+          "Feature language: cq, cq[m], cq[m,p], ghw(k), fo, foK (e.g. \
+           fo2) or epfo (default cq[2]).")
+
+let dim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "d"; "dim" ] ~docv:"N"
+        ~doc:"Bound the statistic dimension (L-Sep[N]).")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt (some rat_conv) None
+    & info [ "e"; "eps" ] ~docv:"EPS"
+        ~doc:"Allowed misclassified fraction, e.g. 1/4 (L-ApxSep).")
+
+let depth_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "ghw-depth" ] ~docv:"N"
+        ~doc:"Unraveling depth for GHW feature generation (default 2).")
+
+let train_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRAIN" ~doc:"Training database file.")
+
+(* --- subcommands ------------------------------------------------------ *)
+
+let info_cmd =
+  let run path =
+    let doc = Textfmt.parse_file path in
+    let db = doc.Textfmt.db in
+    Printf.printf "facts:     %d\n" (Db.size db);
+    Printf.printf "domain:    %d\n" (Db.domain_size db);
+    Printf.printf "entities:  %d (%d labeled)\n"
+      (List.length (Db.entities db))
+      (Labeling.cardinal doc.Textfmt.labeling);
+    Printf.printf "max arity: %d\n" (Db.max_arity db);
+    print_endline "relations:";
+    List.iter
+      (fun (r, ar) ->
+        Printf.printf "  %s/%d: %d facts\n" r ar
+          (List.length (Db.facts_of_rel r db)))
+      (List.sort compare (Db.relations db))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a database file.")
+    Term.(const run $ train_arg)
+
+let sep_cmd =
+  let run path lang dim eps verbose =
+    setup_logs verbose;
+    let t = read_training path in
+    let answer =
+      match eps with
+      | None -> Cqfeat.separable ?dim lang t
+      | Some eps -> Cqfeat.apx_separable ?dim ~eps lang t
+    in
+    Printf.printf "%s%s%s-separable: %b\n" (Language.to_string lang)
+      (match dim with Some d -> Printf.sprintf " dim<=%d" d | None -> "")
+      (match eps with
+      | Some e -> Printf.sprintf " eps=%s" (Rat.to_string e)
+      | None -> "")
+      answer;
+    if answer then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "sep"
+       ~doc:"Decide separability of a labeled training database.")
+    Term.(const run $ train_arg $ lang_arg $ dim_arg $ eps_arg $ verbose_arg)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Also save the generated model to FILE (see the apply command).")
+
+let generate_cmd =
+  let run path lang depth dim out =
+    let t = read_training path in
+    match Cqfeat.generate ~ghw_depth:depth ?dim lang t with
+    | None ->
+        print_endline "not separable: no statistic exists";
+        exit 1
+    | Some (stat, classifier) ->
+        (match out with
+        | Some file -> Model_io.save file (Model_io.make stat classifier)
+        | None -> ());
+        Printf.printf "# statistic with %d features\n"
+          (Statistic.dimension stat);
+        List.iteri
+          (fun i q -> Printf.printf "q%d: %s\n" (i + 1) (Cq.to_string q))
+          stat;
+        Printf.printf "# classifier: Lambda(b) = 1 iff sum w_i b_i >= w0\n";
+        Printf.printf "w0: %s\n" (Rat.to_string classifier.Linsep.threshold);
+        Array.iteri
+          (fun i w -> Printf.printf "w%d: %s\n" (i + 1) (Rat.to_string w))
+          classifier.Linsep.weights;
+        Printf.printf "# training errors: %d\n"
+          (Statistic.errors stat classifier t)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a separating statistic and linear classifier.")
+    Term.(const run $ train_arg $ lang_arg $ depth_arg $ dim_arg $ out_arg)
+
+let apply_cmd =
+  let model_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MODEL" ~doc:"Model file saved by generate --out.")
+  in
+  let db_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DB" ~doc:"Database whose entities to label.")
+  in
+  let run model_path db_path =
+    let model = Model_io.load model_path in
+    let db = read_db db_path in
+    List.iter
+      (fun (e, l) ->
+        Printf.printf "%s%s
+"
+          (match l with Labeling.Pos -> "+" | Labeling.Neg -> "-")
+          (Elem.to_string e))
+      (Labeling.bindings (Model_io.apply model db))
+  in
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:"Label a database with a previously saved model (no retraining).")
+    Term.(const run $ model_arg $ db_arg)
+
+let mindim_cmd =
+  let max_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max" ] ~docv:"N" ~doc:"Search dimensions up to N.")
+  in
+  let run path lang max_dim =
+    let t = read_training path in
+    match Cqfeat.min_dimension ?max_dim lang t with
+    | Some d ->
+        Printf.printf "minimum %s dimension: %d\n" (Language.to_string lang) d
+    | None ->
+        print_endline "not separable within the dimension bound";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "mindim"
+       ~doc:"Find the least statistic dimension that separates.")
+    Term.(const run $ train_arg $ lang_arg $ max_arg)
+
+let classify_cmd =
+  let eval_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"EVAL" ~doc:"Evaluation database file.")
+  in
+  let run train_path eval_path lang eps =
+    let t = read_training train_path in
+    let eval_db = read_db eval_path in
+    let labeling =
+      match eps with
+      | None -> Cqfeat.classify lang t eval_db
+      | Some eps -> fst (Cqfeat.apx_classify ~eps lang t eval_db)
+    in
+    List.iter
+      (fun (e, l) ->
+        Printf.printf "%s%s\n"
+          (match l with Labeling.Pos -> "+" | Labeling.Neg -> "-")
+          (Elem.to_string e))
+      (Labeling.bindings labeling)
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Label the entities of an evaluation database consistently with \
+          a separating statistic for the training database.")
+    Term.(const run $ train_arg $ eval_arg $ lang_arg $ eps_arg)
+
+let dot_cmd =
+  let k_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K" ~doc:"Width bound of the cover game.")
+  in
+  let run path k =
+    let t = read_training path in
+    let ch = Ghw_sep.chain ~k t in
+    let labels =
+      match Preorder_chain.consistent_labels ch t.Labeling.labeling with
+      | Ok labels -> Some labels
+      | Error _ -> None
+    in
+    print_string (Preorder_chain.to_dot ?labels ch)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Render the ->_k equivalence-class DAG of a training database \
+          in Graphviz format (the structure behind Lemma 5.4 and \
+          Algorithm 1).")
+    Term.(const run $ train_arg $ k_arg)
+
+let () =
+  let doc =
+    "separability, feature generation and classification with regularized \
+     conjunctive features (PODS'19)"
+  in
+  let main =
+    Cmd.group
+      (Cmd.info "cqsep" ~version:"1.0.0" ~doc)
+      [
+        info_cmd;
+        sep_cmd;
+        generate_cmd;
+        classify_cmd;
+        mindim_cmd;
+        apply_cmd;
+        dot_cmd;
+      ]
+  in
+  exit (Cmd.eval main)

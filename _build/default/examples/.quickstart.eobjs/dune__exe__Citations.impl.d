@@ -1,0 +1,1 @@
+examples/citations.ml: Cqfeat Db Elem Fact Labeling Language List Planted Printf Statistic Unravel

@@ -1,0 +1,1 @@
+examples/dimension_tour.ml: Cq Cqfeat Db Dim_sep Elem Fact Families Fo_dimension Labeling Language List Printf Statistic

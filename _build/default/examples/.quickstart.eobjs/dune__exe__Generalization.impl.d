@@ -1,0 +1,1 @@
+examples/generalization.ml: Cq Cq_parse Cqfeat Gen_db Labeling Language List Planted Printf Statistic

@@ -1,0 +1,1 @@
+examples/generalization.mli:

@@ -1,0 +1,1 @@
+examples/molecules.ml: Cq Cqfeat Db Elem Fact Labeling Language List Planted Printf Statistic

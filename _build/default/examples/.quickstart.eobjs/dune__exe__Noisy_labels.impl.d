@@ -1,0 +1,1 @@
+examples/noisy_labels.ml: Cqfeat Db Families Ghw_sep Labeling Language List Planted Printf Rat

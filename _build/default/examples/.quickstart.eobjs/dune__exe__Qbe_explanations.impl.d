@@ -1,0 +1,1 @@
+examples/qbe_explanations.ml: Cq Db Elem List Printf Qbe

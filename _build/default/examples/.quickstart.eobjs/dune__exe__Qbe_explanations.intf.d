@@ -1,0 +1,1 @@
+examples/qbe_explanations.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cqfeat Db Elem Format Labeling Language List Planted Printf Rat Statistic Textfmt

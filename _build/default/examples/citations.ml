@@ -1,0 +1,103 @@
+(* Bibliographic-network classification with GHW(1) features and
+   Algorithm 1.
+
+   Entities are papers in a citation database with relations
+   Cites(p, q), SameVenue(p, q) and Survey(p). The hidden concept:
+   a paper is "influential" iff it is cited by a survey — but we never
+   write that query down. Instead we check GHW(1)-separability with
+   the cover-game test and classify an unseen evaluation database
+   with Algorithm 1, which provably agrees with SOME separating
+   GHW(1) statistic without ever materializing one (the paper's
+   Theorem 5.8; materialized features could be exponentially large by
+   Theorem 5.7).
+
+   Run with: dune exec examples/citations.exe *)
+
+let paper tag i = Elem.sym (Printf.sprintf "%s_p%d" tag i)
+
+(* A component with [cited_by_survey] controlling the concept. *)
+let component ~tag ~cited_by_survey =
+  let p = paper tag 0 in
+  let citer = paper tag 1 in
+  let other = paper tag 2 in
+  let facts =
+    [
+      ("Cites", [ citer; p ]);
+      ("Cites", [ other; citer ]);
+      ("SameVenue", [ p; other ]);
+    ]
+    @ (if cited_by_survey then [ ("Survey", [ citer ]) ] else [])
+  in
+  (p, facts)
+
+let build comps =
+  let db, labeled =
+    List.fold_left
+      (fun (db, labeled) ((entity, facts), label) ->
+        let db =
+          List.fold_left (fun d (r, args) -> Db.add (Fact.make_l r args) d) db facts
+        in
+        (Db.add_entity entity db, (entity, label) :: labeled))
+      (Db.empty, []) comps
+  in
+  Labeling.training db (Labeling.of_list labeled)
+
+let () =
+  print_endline "Citation network: GHW(1) separability and Algorithm 1";
+  print_endline "======================================================";
+  let train =
+    build
+      [
+        (component ~tag:"a" ~cited_by_survey:true, Labeling.Pos);
+        (component ~tag:"b" ~cited_by_survey:true, Labeling.Pos);
+        (component ~tag:"c" ~cited_by_survey:false, Labeling.Neg);
+        (component ~tag:"d" ~cited_by_survey:false, Labeling.Neg);
+      ]
+  in
+  Printf.printf "training papers: %d, facts: %d\n"
+    (List.length (Db.entities train.Labeling.db))
+    (Db.size train.Labeling.db);
+
+  (* The polynomial separability test of Theorem 5.3. *)
+  Printf.printf "GHW(1)-separable: %b\n"
+    (Cqfeat.separable (Language.Ghw 1) train);
+
+  (* What WOULD materialization cost? (Proposition 5.6 / Theorem 5.7:
+     exponential in the unraveling depth.) *)
+  List.iter
+    (fun depth ->
+      Printf.printf
+        "  materialized feature at unraveling depth %d: ~%d tree nodes\n"
+        depth
+        (Unravel.node_count ~k:1 ~depth train.Labeling.db))
+    [ 1; 2; 3 ];
+
+  (* Algorithm 1: classify unseen papers without materializing. *)
+  let eval =
+    build
+      [
+        (component ~tag:"x" ~cited_by_survey:true, Labeling.Pos);
+        (component ~tag:"y" ~cited_by_survey:false, Labeling.Neg);
+        (component ~tag:"z" ~cited_by_survey:true, Labeling.Pos);
+      ]
+  in
+  let predicted = Cqfeat.classify (Language.Ghw 1) train eval.Labeling.db in
+  print_endline "Algorithm 1 on unseen papers:";
+  List.iter
+    (fun (p, truth) ->
+      let l = Labeling.get p predicted in
+      Printf.printf "  %-6s predicted %s truth %s %s\n" (Elem.to_string p)
+        (if l = Labeling.Pos then "+" else "-")
+        (if truth = Labeling.Pos then "+" else "-")
+        (if Labeling.label_equal l truth then "(ok)" else "(WRONG)"))
+    (Labeling.bindings eval.Labeling.labeling);
+  Printf.printf "accuracy: %.2f\n" (Planted.accuracy ~truth:eval predicted);
+
+  (* For contrast: CQ[2] generation DOES materialize features. *)
+  match Cqfeat.generate (Language.Cq_atoms { m = 2; p = None }) train with
+  | Some (stat, c) ->
+      Printf.printf
+        "for contrast, CQ[2] materializes %d features (%d training errors)\n"
+        (Statistic.dimension stat)
+        (Statistic.errors stat c train)
+  | None -> print_endline "CQ[2] cannot separate (needs deeper joins)"

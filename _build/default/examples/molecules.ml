@@ -1,0 +1,119 @@
+(* Molecule classification by propositionalization — the scenario that
+   motivates the paper's introduction (features as joins over a
+   relational schema, cf. Knobbe et al. 2001, Samorani et al. 2011).
+
+   Entities are molecules; the database relates molecules to their
+   atoms (HasAtom), atoms to atoms (Bond), and atoms to element kinds
+   (Carbon, Oxygen). The hidden concept: a molecule is active iff it
+   contains a carbon bonded to an oxygen. We generate CQ[3] features
+   (joins up to three atoms), learn a linear classifier, inspect the
+   generated features, and classify unseen molecules.
+
+   Run with: dune exec examples/molecules.exe *)
+
+let lang = Language.Cq_atoms { m = 3; p = None }
+
+(* Deterministic synthetic molecules. [carbon_oxygen] controls whether
+   the active pattern C-O is present. *)
+let molecule ~tag ~carbon_oxygen ~extra_atoms =
+  let mol = Elem.sym (Printf.sprintf "mol_%s" tag) in
+  let atom j = Elem.sym (Printf.sprintf "at_%s_%d" tag j) in
+  let base =
+    [
+      ("HasAtom", [ mol; atom 0 ]);
+      ("HasAtom", [ mol; atom 1 ]);
+      ("Bond", [ atom 0; atom 1 ]);
+      ("Carbon", [ atom 0 ]);
+    ]
+  in
+  let active_part =
+    if carbon_oxygen then [ ("Oxygen", [ atom 1 ]) ]
+    else [ ("Carbon", [ atom 1 ]) ]
+  in
+  let extras =
+    List.concat
+      (List.init extra_atoms (fun j ->
+           [
+             ("HasAtom", [ mol; atom (j + 2) ]);
+             ("Bond", [ atom 1; atom (j + 2) ]);
+             ("Carbon", [ atom (j + 2) ]);
+           ]))
+  in
+  (mol, base @ active_part @ extras)
+
+let build molecules =
+  let db, labeled =
+    List.fold_left
+      (fun (db, labeled) (spec, label) ->
+        let mol, facts = spec in
+        let db = List.fold_left (fun d (r, args) -> Db.add (Fact.make_l r args) d) db facts in
+        (Db.add_entity mol db, (mol, label) :: labeled))
+      (Db.empty, []) molecules
+  in
+  Labeling.training db (Labeling.of_list labeled)
+
+let () =
+  print_endline "Molecule activity prediction with CQ[3] features";
+  print_endline "================================================";
+
+  (* Training set: three actives, three inactives, varied sizes. *)
+  let train =
+    build
+      [
+        (molecule ~tag:"a1" ~carbon_oxygen:true ~extra_atoms:0, Labeling.Pos);
+        (molecule ~tag:"a2" ~carbon_oxygen:true ~extra_atoms:1, Labeling.Pos);
+        (molecule ~tag:"a3" ~carbon_oxygen:true ~extra_atoms:2, Labeling.Pos);
+        (molecule ~tag:"i1" ~carbon_oxygen:false ~extra_atoms:0, Labeling.Neg);
+        (molecule ~tag:"i2" ~carbon_oxygen:false ~extra_atoms:1, Labeling.Neg);
+        (molecule ~tag:"i3" ~carbon_oxygen:false ~extra_atoms:2, Labeling.Neg);
+      ]
+  in
+  Printf.printf "training molecules: %d (facts: %d)\n"
+    (List.length (Db.entities train.Labeling.db))
+    (Db.size train.Labeling.db);
+
+  Printf.printf "CQ[3]-separable: %b\n" (Cqfeat.separable lang train);
+
+  (match Cqfeat.generate lang train with
+  | None -> print_endline "no separating statistic — unexpected"
+  | Some (stat, classifier) ->
+      Printf.printf "generated statistic: %d features (after pruning)\n"
+        (Statistic.dimension stat);
+      Printf.printf "training errors: %d\n"
+        (Statistic.errors stat classifier train);
+      (* Show a couple of informative features: those whose indicator
+         column is not constant. *)
+      let informative =
+        List.filter
+          (fun q ->
+            let sel = Cq.eval q train.Labeling.db in
+            sel <> [] && List.length sel < 6)
+          stat
+      in
+      print_endline "some informative features:";
+      List.iteri
+        (fun i q -> if i < 5 then Printf.printf "  %s\n" (Cq.to_string q))
+        informative;
+
+      (* Evaluation set: unseen molecules, including a big active one. *)
+      let eval_specs =
+        [
+          (molecule ~tag:"e1" ~carbon_oxygen:true ~extra_atoms:3, Labeling.Pos);
+          (molecule ~tag:"e2" ~carbon_oxygen:false ~extra_atoms:3, Labeling.Neg);
+          (molecule ~tag:"e3" ~carbon_oxygen:true ~extra_atoms:0, Labeling.Pos);
+        ]
+      in
+      let eval = build eval_specs in
+      let predicted = Statistic.induced_labeling stat classifier eval.Labeling.db in
+      print_endline "evaluation:";
+      List.iter
+        (fun (mol, truth) ->
+          let p = Labeling.get mol predicted in
+          Printf.printf "  %-8s predicted %s truth %s %s\n"
+            (Elem.to_string mol)
+            (if p = Labeling.Pos then "+" else "-")
+            (if truth = Labeling.Pos then "+" else "-")
+            (if Labeling.label_equal p truth then "(ok)" else "(WRONG)"))
+        (Labeling.bindings eval.Labeling.labeling);
+      Printf.printf "accuracy: %.2f\n"
+        (Planted.accuracy ~truth:eval predicted))

@@ -1,0 +1,1 @@
+lib/arith/bigint.mli: Format

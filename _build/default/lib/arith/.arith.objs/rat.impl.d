@@ -1,0 +1,1 @@
+lib/arith/rat.ml: Bigint Format

@@ -1,0 +1,286 @@
+(* Sign-magnitude bignum over base-2^30 limbs, least significant limb
+   first. The magnitude array never has trailing zero limbs; zero is
+   represented by the empty array with sign 0. Limb products fit in a
+   native 63-bit int (2^30 * 2^30 + carries < 2^62). *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: sign ∈ {-1, 0, 1}; sign = 0 iff mag = [||];
+   mag.(Array.length mag - 1) <> 0 when non-empty; 0 <= mag.(i) < base. *)
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then zero
+  else if hi = n - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (hi + 1) }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* min_int negation overflows; go through two limbs carefully by
+       working with negative absolute values. *)
+    let rec limbs acc n =
+      if n = 0 then List.rev acc
+      else limbs ((-(n mod base)) :: acc) (n / base)
+    in
+    let neg_abs = if n > 0 then -n else n in
+    { sign; mag = Array.of_list (limbs [] neg_abs) }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+(* Compare magnitudes only. *)
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash t =
+  Array.fold_left (fun acc limb -> (acc * 1000003) lxor limb) t.sign t.mag
+
+(* Magnitude addition: |a| + |b|. *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Magnitude subtraction: |a| - |b|, requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize a.sign (sub_mag a.mag b.mag)
+    else normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    for j = 0 to lb - 1 do
+      let acc = r.(i + j) + (ai * b.(j)) + !carry in
+      r.(i + j) <- acc land base_mask;
+      carry := acc lsr base_bits
+    done;
+    (* Propagate the final carry; r.(i+lb) < base before adding, and the
+       carry is < base, so one extra limb absorbs it. *)
+    let k = ref (i + lb) in
+    while !carry <> 0 do
+      let acc = r.(!k) + !carry in
+      r.(!k) <- acc land base_mask;
+      carry := acc lsr base_bits;
+      incr k
+    done
+  done;
+  r
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+(* Shift magnitude left by one bit (multiply by 2). *)
+let shift_left_bit_mag a =
+  let la = Array.length a in
+  let r = Array.make (la + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let v = (a.(i) lsl 1) lor !carry in
+    r.(i) <- v land base_mask;
+    carry := v lsr base_bits
+  done;
+  r.(la) <- !carry;
+  r
+
+(* Number of significant bits in a magnitude. *)
+let bits_mag a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    ((la - 1) * base_bits) + width top 0
+  end
+
+(* Long division on magnitudes via bit-by-bit restoring division:
+   simple and clearly correct; quadratic, which is fine at our scales
+   (classifier weights and simplex pivots stay small). *)
+let divmod_mag a b =
+  if compare_mag a b < 0 then ([| |], Array.copy a)
+  else begin
+    let nbits = bits_mag a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref [||] in
+    for i = nbits - 1 downto 0 do
+      let r2 = shift_left_bit_mag !r in
+      let bit = (a.(i / base_bits) lsr (i mod base_bits)) land 1 in
+      if bit = 1 then r2.(0) <- r2.(0) lor 1;
+      let r2 = (normalize 1 r2).mag in
+      if compare_mag r2 b >= 0 then begin
+        r := sub_mag r2 b;
+        r := (normalize 1 !r).mag;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+      else r := r2
+    done;
+    (q, !r)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let q_mag, r_mag = divmod_mag a.mag b.mag in
+    let q = normalize (a.sign * b.sign) q_mag in
+    let r = normalize a.sign r_mag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow base_v n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n lsr 1)
+    end
+  in
+  go one base_v n
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let to_int_opt t =
+  (* Accumulate most-significant first; bail out on overflow by checking
+     the pre-multiplication bound. *)
+  let limit = Stdlib.max_int / base in
+  let rec go acc i =
+    if i < 0 then Some acc
+    else if acc > limit then None
+    else begin
+      let acc = acc * base in
+      let acc' = acc + t.mag.(i) in
+      if acc' < acc then None else go acc' (i - 1)
+    end
+  in
+  match go 0 (Array.length t.mag - 1) with
+  | Some m -> if t.sign < 0 then Some (-m) else Some m
+  | None ->
+      (* min_int has no positive counterpart; handle it explicitly. *)
+      if t.sign < 0 && equal t (of_int Stdlib.min_int) then
+        Some Stdlib.min_int
+      else None
+
+let to_int t =
+  match to_int_opt t with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int: value does not fit in a native int"
+
+let ten = of_int 10
+
+let to_string t =
+  if is_zero t then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec digits v =
+      if is_zero v then ()
+      else begin
+        let q, r = divmod v ten in
+        digits q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int r))
+      end
+    in
+    digits (abs t);
+    let body = Buffer.contents buf in
+    if t.sign < 0 then "-" ^ body else body
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign_neg, start =
+    match s.[0] with
+    | '-' -> (true, 1)
+    | '+' -> (false, 1)
+    | _ -> (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then
+      invalid_arg (Printf.sprintf "Bigint.of_string: bad character %C" c);
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if sign_neg then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,67 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation over base-[2^30] limbs. Values are
+    immutable and structurally comparable via {!compare} (do not rely on
+    polymorphic comparison). This module exists because the container is
+    sealed (no zarith); it backs the exact rational arithmetic in {!Rat},
+    the simplex solver, and the [3^i] classifier weights of the
+    Kimelfeld–Ré construction. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** [of_int n] converts a native integer. Total. *)
+val of_int : int -> t
+
+(** [to_int t] converts back to a native integer.
+    @raise Failure if the value does not fit in a native [int]. *)
+val to_int : t -> int
+
+(** [to_int_opt t] is [Some n] when the value fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [of_string s] parses an optionally-signed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+(** [to_string t] renders a decimal numeral (with a leading [-] when
+    negative). *)
+val to_string : t -> string
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is the pair [(q, r)] with [a = q*b + r], [0 <= |r| < |b|],
+    and [r] carrying the sign of [a] (truncated division, like OCaml's
+    [( / )] and [(mod)] on ints).
+    @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [pow base n] is [base] raised to the non-negative exponent [n].
+    @raise Invalid_argument if [n < 0]. *)
+val pow : t -> int -> t
+
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+val gcd : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** [hash t] is a structural hash consistent with {!equal}. *)
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

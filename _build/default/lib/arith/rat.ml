@@ -1,0 +1,74 @@
+(* Canonical rationals: den > 0, gcd (|num|, den) = 1. *)
+
+type t = { n : Bigint.t; d : Bigint.t }
+
+let make n d =
+  if Bigint.is_zero d then raise Division_by_zero;
+  let n, d = if Bigint.sign d < 0 then (Bigint.neg n, Bigint.neg d) else (n, d) in
+  if Bigint.is_zero n then { n = Bigint.zero; d = Bigint.one }
+  else begin
+    let g = Bigint.gcd n d in
+    { n = Bigint.div n g; d = Bigint.div d g }
+  end
+
+let of_bigint n = { n; d = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.n
+let den t = t.d
+
+let neg t = { t with n = Bigint.neg t.n }
+let abs t = { t with n = Bigint.abs t.n }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.n b.d) (Bigint.mul b.n a.d))
+    (Bigint.mul a.d b.d)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.n b.n) (Bigint.mul a.d b.d)
+let div a b = make (Bigint.mul a.n b.d) (Bigint.mul a.d b.n)
+
+let inv t =
+  if Bigint.is_zero t.n then raise Division_by_zero;
+  make t.d t.n
+
+let sign t = Bigint.sign t.n
+let is_zero t = Bigint.is_zero t.n
+
+let compare a b = sign (sub a b)
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) = equal
+
+let to_float t =
+  (* Scale down both parts together when they exceed the float-exact
+     range; precision loss is acceptable since this is reporting-only. *)
+  let rec shrink n d =
+    match (Bigint.to_int_opt n, Bigint.to_int_opt d) with
+    | Some n, Some d -> float_of_int n /. float_of_int d
+    | _ ->
+        shrink (Bigint.div n Bigint.two) (Bigint.div d Bigint.two)
+  in
+  shrink t.n t.d
+
+let to_string t =
+  if Bigint.equal t.d Bigint.one then Bigint.to_string t.n
+  else Bigint.to_string t.n ^ "/" ^ Bigint.to_string t.d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

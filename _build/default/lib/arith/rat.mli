@@ -1,0 +1,64 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly
+    positive and the numerator/denominator pair is coprime, so
+    structural equality of canonical forms coincides with numeric
+    equality (and {!compare} is a total order consistent with it).
+    This backs the exact simplex solver used for linear separability. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints num den] is [num/den] from native ints.
+    @raise Division_by_zero if [den] is zero. *)
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when dividing by zero. *)
+val div : t -> t -> t
+
+(** @raise Division_by_zero on [inv zero]. *)
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+
+(** [to_float t] is a nearest-double approximation (for reporting only). *)
+val to_float : t -> float
+
+(** [to_string t] renders ["n"] or ["n/d"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

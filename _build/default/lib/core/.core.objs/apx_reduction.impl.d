@@ -1,0 +1,1 @@
+lib/core/apx_reduction.ml: Bigint Db Elem Fact Labeling List Printf Rat

@@ -1,0 +1,1 @@
+lib/core/apx_reduction.mli: Elem Labeling Rat

@@ -1,0 +1,1 @@
+lib/core/atoms_sep.ml: Bigint Cq_enum Db Elem Eval_engine Hashtbl Labeling Linsep List Rat Statistic

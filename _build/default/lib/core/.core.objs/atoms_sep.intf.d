@@ -1,0 +1,1 @@
+lib/core/atoms_sep.mli: Db Labeling Linsep Rat Statistic

@@ -1,0 +1,1 @@
+lib/core/cq_sep.ml: Array Cq Db Hom Labeling List Preorder_chain Rat

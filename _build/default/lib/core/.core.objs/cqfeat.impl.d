@@ -1,0 +1,1 @@
+lib/core/cqfeat.ml: Atoms_sep Bigint Cq_sep Db Dim_sep Fo_sep Ghw_sep Labeling Language List Logs Pebble_game Printf Rat Statistic

@@ -1,0 +1,1 @@
+lib/core/cqfeat.mli: Db Labeling Language Linsep Rat Statistic

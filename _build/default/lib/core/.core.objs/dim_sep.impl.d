@@ -1,0 +1,1 @@
+lib/core/dim_sep.ml: Array Atoms_sep Cq Db Elem Eval_engine Fact Fo_sep Hashtbl Labeling Language Linsep List Pebble_game Printf Qbe Unravel

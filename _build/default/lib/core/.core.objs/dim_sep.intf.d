@@ -1,0 +1,1 @@
+lib/core/dim_sep.mli: Cq Elem Labeling Language Linsep Qbe

@@ -1,0 +1,1 @@
+lib/core/ghw_sep.ml: Array Cover_game Db Labeling List Preorder_chain Rat Unravel

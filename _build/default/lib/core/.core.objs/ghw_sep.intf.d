@@ -1,0 +1,1 @@
+lib/core/ghw_sep.mli: Db Elem Labeling Linsep Preorder_chain Rat Statistic

@@ -1,0 +1,1 @@
+lib/core/language.ml: Cq Cq_decomp Elem Format Printf

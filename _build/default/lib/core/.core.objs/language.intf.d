@@ -1,0 +1,1 @@
+lib/core/language.mli: Cq Format

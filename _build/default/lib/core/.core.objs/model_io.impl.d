@@ -1,0 +1,1 @@
+lib/core/model_io.ml: Array Bigint Buffer Cq Cq_parse Linsep List Printf Rat Statistic String

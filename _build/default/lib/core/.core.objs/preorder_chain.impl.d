@@ -1,0 +1,1 @@
+lib/core/preorder_chain.ml: Array Buffer Elem Labeling Linsep List Printf

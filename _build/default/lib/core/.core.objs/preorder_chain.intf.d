@@ -1,0 +1,1 @@
+lib/core/preorder_chain.mli: Elem Labeling Linsep

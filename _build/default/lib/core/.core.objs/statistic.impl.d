@@ -1,0 +1,1 @@
+lib/core/statistic.ml: Array Cq Db Elem Eval_engine Format Labeling Linsep List

@@ -1,0 +1,1 @@
+lib/core/statistic.mli: Cq Db Elem Format Labeling Linsep

@@ -1,0 +1,1 @@
+lib/core/vc_reduction.ml: Array Cqfeat Db Elem Fact Labeling Language List Printf

@@ -1,0 +1,1 @@
+lib/core/vc_reduction.mli: Labeling

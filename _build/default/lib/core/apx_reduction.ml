@@ -1,0 +1,50 @@
+type padded = {
+  training : Labeling.training;
+  eps : Rat.t;
+  copies : int;
+  padding : int;
+  budget : int;
+}
+
+let copy_element ~copy e = Elem.tup [ Elem.int copy; e ]
+
+let floor_rat r =
+  (* floor for non-negative rationals *)
+  Bigint.to_int (Bigint.div (Rat.num r) (Rat.den r))
+
+let pad ~eps (t : Labeling.training) =
+  if Rat.sign eps < 0 || Rat.compare eps (Rat.of_ints 1 2) >= 0 then
+    invalid_arg "Apx_reduction.pad: eps must lie in [0, 1/2)";
+  let n = List.length (Db.entities t.db) in
+  let copies = n + 1 in
+  (* Find the least even s with budget(s) - s/2 < copies; the
+     difference is non-increasing in steps of at most one, and starts
+     at budget(0) ≥ 0, so the first s below the threshold still has
+     budget(s) ≥ s/2. *)
+  let budget_of s = floor_rat (Rat.mul eps (Rat.of_int ((copies * n) + s))) in
+  let rec find_s s =
+    if budget_of s - (s / 2) < copies then s else find_s (s + 2)
+  in
+  let padding = find_s 0 in
+  let budget = budget_of padding in
+  assert (padding / 2 <= budget);
+  (* Build the padded database. *)
+  let copy_db i = Db.map_elems (copy_element ~copy:i) t.db in
+  let db = ref Db.empty in
+  for i = 1 to copies do
+    db := Db.union !db (copy_db i)
+  done;
+  let labeled = ref [] in
+  for i = 1 to copies do
+    List.iter
+      (fun (e, l) -> labeled := (copy_element ~copy:i e, l) :: !labeled)
+      (Labeling.bindings t.labeling)
+  done;
+  for j = 1 to padding do
+    let p = Elem.sym (Printf.sprintf "pad_%d" j) in
+    db := Db.add (Fact.make_l "pad" [ p ]) (Db.add_entity p !db);
+    labeled :=
+      (p, if j mod 2 = 0 then Labeling.Pos else Labeling.Neg) :: !labeled
+  done;
+  let training = Labeling.training !db (Labeling.of_list !labeled) in
+  { training; eps; copies; padding; budget }

@@ -1,0 +1,62 @@
+let all_features ~m ?p db =
+  Cq_enum.feature_queries ?max_var_occ:p
+    ~schema:(Cq_enum.schema_of_db db) ~max_atoms:m ()
+
+let pruned_features ~m ?p (t : Labeling.training) =
+  let features = all_features ~m ?p t.db in
+  let entities = Db.entities t.db in
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun q ->
+      let selected = Elem.Set.of_list (Eval_engine.eval q t.db) in
+      let column = List.map (fun e -> Elem.Set.mem e selected) entities in
+      if Hashtbl.mem seen column then false
+      else begin
+        Hashtbl.add seen column ();
+        true
+      end)
+    features
+
+let generate ~m ?p (t : Labeling.training) =
+  let stat = pruned_features ~m ?p t in
+  match Statistic.separating_classifier stat t with
+  | Some c -> Some (stat, c)
+  | None -> None
+
+let separable ~m ?p t = generate ~m ?p t <> None
+
+let classify ~m ?p (t : Labeling.training) eval_db =
+  match generate ~m ?p t with
+  | None ->
+      invalid_arg "Atoms_sep.classify: training database is not CQ[m]-separable"
+  | Some (stat, c) -> Statistic.induced_labeling stat c eval_db
+
+let min_errors ~m ?p ?cap (t : Labeling.training) =
+  let stat = pruned_features ~m ?p t in
+  let examples = Statistic.examples stat t in
+  match Linsep.min_errors_exact ?cap examples with
+  | Some (err, c) -> Some (err, stat, c)
+  | None -> None
+
+let error_budget ~eps n =
+  (* largest integer ≤ eps·n *)
+  let scaled = Rat.mul eps (Rat.of_int n) in
+  let num = Rat.num scaled and den = Rat.den scaled in
+  Bigint.to_int (Bigint.div num den)
+
+let apx_separable ~m ?p ~eps (t : Labeling.training) =
+  let n = List.length (Db.entities t.db) in
+  let budget = error_budget ~eps n in
+  match min_errors ~m ?p ~cap:budget t with
+  | Some (err, _, _) -> err <= budget
+  | None -> false
+
+let apx_classify ~m ?p ~eps (t : Labeling.training) eval_db =
+  let n = List.length (Db.entities t.db) in
+  let budget = error_budget ~eps n in
+  match min_errors ~m ?p ~cap:budget t with
+  | Some (err, stat, c) when err <= budget ->
+      (Statistic.induced_labeling stat c eval_db, err)
+  | _ ->
+      invalid_arg
+        "Atoms_sep.apx_classify: no CQ[m] classifier within the error budget"

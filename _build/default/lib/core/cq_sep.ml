@@ -1,0 +1,82 @@
+let hom_preorder db entities =
+  let ents = Array.of_list entities in
+  let n = Array.length ents in
+  let m = Array.make_matrix n n false in
+  let known = Array.make_matrix n n false in
+  let set i j v =
+    if not known.(i).(j) then begin
+      known.(i).(j) <- true;
+      m.(i).(j) <- v
+    end
+  in
+  (* The homomorphism preorder is reflexive and transitive; settle
+     forced arcs before running searches, as in Cover_game.preorder. *)
+  for i = 0 to n - 1 do
+    set i i true
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if not known.(i).(j) then begin
+        let v = Hom.pointed db [ ents.(i) ] db [ ents.(j) ] in
+        set i j v;
+        if v then
+          for l = 0 to n - 1 do
+            if known.(j).(l) && m.(j).(l) then set i l true;
+            if known.(l).(i) && m.(l).(i) then set l j true
+          done
+      end
+    done
+  done;
+  m
+
+let chain (t : Labeling.training) =
+  let entities = Array.of_list (Db.entities t.db) in
+  let matrix = hom_preorder t.db (Array.to_list entities) in
+  Preorder_chain.build ~entities ~matrix
+
+let inseparable_witness t =
+  match Preorder_chain.consistent_labels (chain t) t.Labeling.labeling with
+  | Ok _ -> None
+  | Error pair -> Some pair
+
+let separable t = inseparable_witness t = None
+
+let generate ?(minimize = false) (t : Labeling.training) =
+  let ch = chain t in
+  match Preorder_chain.consistent_labels ch t.labeling with
+  | Error _ -> None
+  | Ok labels ->
+      let feature rep =
+        let q = Cq.of_pointed_db (t.db, rep) in
+        if minimize then Cq.core q else q
+      in
+      let stat = List.map feature (Array.to_list ch.Preorder_chain.reps) in
+      Some (stat, Preorder_chain.classifier ch labels)
+
+let classify (t : Labeling.training) eval_db =
+  let ch = chain t in
+  match Preorder_chain.consistent_labels ch t.labeling with
+  | Error _ ->
+      invalid_arg "Cq_sep.classify: training database is not CQ-separable"
+  | Ok labels ->
+      let arrow rep f = Hom.pointed t.db [ rep ] eval_db [ f ] in
+      List.fold_left
+        (fun acc (f, l) -> Labeling.set f l acc)
+        Labeling.empty
+        (Preorder_chain.classify ~arrow ch labels (Db.entities eval_db))
+
+let apx_relabel (t : Labeling.training) =
+  let ch = chain t in
+  let labels, disagreement = Preorder_chain.majority_labels ch t.labeling in
+  let relabeling =
+    Array.to_list ch.Preorder_chain.members
+    |> List.mapi (fun i cls -> List.map (fun e -> (e, labels.(i))) cls)
+    |> List.concat |> Labeling.of_list
+  in
+  (relabeling, disagreement)
+
+let apx_separable ~eps (t : Labeling.training) =
+  let _, disagreement = apx_relabel t in
+  let n = List.length (Db.entities t.db) in
+  (* separable with error eps iff disagreement ≤ eps·n *)
+  Rat.compare (Rat.of_int disagreement) (Rat.mul eps (Rat.of_int n)) <= 0

@@ -1,0 +1,33 @@
+type t =
+  | Cq_all
+  | Cq_atoms of { m : int; p : int option }
+  | Ghw of int
+  | Fo
+  | Fo_k of int
+  | Epfo
+
+let to_string = function
+  | Cq_all -> "CQ"
+  | Cq_atoms { m; p = None } -> Printf.sprintf "CQ[%d]" m
+  | Cq_atoms { m; p = Some p } -> Printf.sprintf "CQ[%d,%d]" m p
+  | Ghw k -> Printf.sprintf "GHW(%d)" k
+  | Fo -> "FO"
+  | Fo_k k -> Printf.sprintf "FO_%d" k
+  | Epfo -> "∃FO+"
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)
+
+let member lang q =
+  match lang with
+  | Cq_all | Fo | Epfo -> true
+  | Fo_k k ->
+      (* a CQ is a k-variable query iff it can be written with k
+         variables; a sufficient syntactic criterion is having at most
+         k variables, which is what feature CQs built by this library
+         report *)
+      Elem.Set.cardinal (Cq.vars q) <= k
+  | Cq_atoms { m; p } -> begin
+      Cq.num_atoms q <= m
+      && match p with None -> true | Some p -> Cq.max_var_occurrences q <= p
+    end
+  | Ghw k -> Cq_decomp.ghw_le q k

@@ -1,0 +1,22 @@
+(** Feature-language specifications used across the unified API. *)
+
+type t =
+  | Cq_all  (** all conjunctive queries *)
+  | Cq_atoms of { m : int; p : int option }
+      (** CQ[m]: at most [m] atoms; with [p] set, CQ[m,p] (each
+          variable occurring at most [p] times) *)
+  | Ghw of int  (** GHW(k): generalized hypertree width at most [k] *)
+  | Fo  (** all first-order feature queries *)
+  | Fo_k of int
+      (** the k-variable fragment FO_k — dimension-collapses like FO
+          (Cor 8.5); separability via the k-pebble game *)
+  | Epfo  (** existential-positive FO — collapses to CQ (Prop 8.3) *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [member lang q] checks syntactic membership of a feature CQ in the
+    CQ-based languages ([Fo] and [Epfo] contain every CQ). For
+    [Ghw k] this computes the exact ghw (exponential; small queries
+    only). *)
+val member : t -> Cq.t -> bool

@@ -1,0 +1,97 @@
+type model = { statistic : Statistic.t; classifier : Linsep.classifier }
+
+exception Parse_error of string
+
+let make statistic classifier =
+  if Array.length classifier.Linsep.weights <> List.length statistic then
+    invalid_arg "Model_io.make: weight/feature count mismatch";
+  { statistic; classifier }
+
+let rat_to_string = Rat.to_string
+
+let rat_of_string s =
+  match String.split_on_char '/' (String.trim s) with
+  | [ n ] -> Rat.of_bigint (Bigint.of_string n)
+  | [ n; d ] -> Rat.make (Bigint.of_string n) (Bigint.of_string d)
+  | _ -> raise (Parse_error (Printf.sprintf "bad rational %S" s))
+
+let to_string m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# cqfeat model v1\n";
+  List.iter
+    (fun q ->
+      Buffer.add_string buf "feature ";
+      Buffer.add_string buf (Cq.to_string q);
+      Buffer.add_char buf '\n')
+    m.statistic;
+  Buffer.add_string buf
+    (Printf.sprintf "threshold %s\n" (rat_to_string m.classifier.Linsep.threshold));
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (Printf.sprintf "weight %s\n" (rat_to_string w)))
+    m.classifier.Linsep.weights;
+  Buffer.contents buf
+
+let of_string s =
+  let features = ref [] in
+  let weights = ref [] in
+  let threshold = ref None in
+  List.iteri
+    (fun idx raw ->
+      let line_no = idx + 1 in
+      let fail msg =
+        raise (Parse_error (Printf.sprintf "line %d: %s" line_no msg))
+      in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else begin
+        match String.index_opt line ' ' with
+        | None -> fail "expected 'keyword argument'"
+        | Some i ->
+            let keyword = String.sub line 0 i in
+            let arg = String.sub line (i + 1) (String.length line - i - 1) in
+            (match keyword with
+            | "feature" -> begin
+                match Cq_parse.parse arg with
+                | q -> features := q :: !features
+                | exception Cq_parse.Parse_error msg ->
+                    fail ("bad feature: " ^ msg)
+              end
+            | "threshold" -> begin
+                if !threshold <> None then fail "duplicate threshold";
+                match rat_of_string arg with
+                | r -> threshold := Some r
+                | exception _ -> fail "bad threshold"
+              end
+            | "weight" -> begin
+                match rat_of_string arg with
+                | r -> weights := r :: !weights
+                | exception _ -> fail "bad weight"
+              end
+            | _ -> fail (Printf.sprintf "unknown keyword %S" keyword))
+      end)
+    (String.split_on_char '\n' s);
+  let statistic = List.rev !features in
+  let weights = Array.of_list (List.rev !weights) in
+  let threshold =
+    match !threshold with
+    | Some t -> t
+    | None -> raise (Parse_error "missing threshold line")
+  in
+  if Array.length weights <> List.length statistic then
+    raise (Parse_error "weight/feature count mismatch");
+  { statistic; classifier = { Linsep.weights; threshold } }
+
+let save path m =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+let apply m db = Statistic.induced_labeling m.statistic m.classifier db

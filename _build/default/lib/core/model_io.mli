@@ -1,0 +1,37 @@
+(** Serialization of trained models (statistic + linear classifier).
+
+    A model is rendered as a line-oriented text file:
+    {v
+      # cqfeat model v1
+      feature x :- R(x)
+      feature x :- S(y0), E(x,y0)
+      threshold -3
+      weight 1/2
+      weight -27
+    v}
+    with one [weight] line per feature, in order. Weights and the
+    threshold are exact rationals, so a round-trip is lossless —
+    including the bignum weights of the chain classifier. *)
+
+type model = { statistic : Statistic.t; classifier : Linsep.classifier }
+
+exception Parse_error of string
+
+(** [make statistic classifier] validates the dimensions.
+    @raise Invalid_argument on a weight/feature count mismatch. *)
+val make : Statistic.t -> Linsep.classifier -> model
+
+val to_string : model -> string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> model
+
+(** [save path model] / [load path] — file-level wrappers.
+    @raise Sys_error on I/O failure.
+    @raise Parse_error on malformed input. *)
+val save : string -> model -> unit
+
+val load : string -> model
+
+(** [apply model db] labels the entities of [db] with the model. *)
+val apply : model -> Db.t -> Labeling.t

@@ -1,0 +1,51 @@
+type t = Cq.t list
+
+let dimension = List.length
+
+let vector stat db e =
+  Array.of_list
+    (List.map (fun q -> if Eval_engine.selects q db e then 1 else -1) stat)
+
+(* Evaluate feature by feature (one engine run per query) rather than
+   entity by entity: the planner picks Yannakakis or the decomposition
+   engine where applicable, turning the inner loop polynomial. *)
+let vectors stat db =
+  let entities = Db.entities db in
+  let columns =
+    List.map
+      (fun q -> Elem.Set.of_list (Eval_engine.eval q db))
+      stat
+  in
+  List.map
+    (fun e ->
+      ( e,
+        Array.of_list
+          (List.map
+             (fun selected -> if Elem.Set.mem e selected then 1 else -1)
+             columns) ))
+    entities
+
+let examples stat (t : Labeling.training) =
+  List.map
+    (fun (e, vec) -> { Linsep.vec; label = Labeling.get e t.labeling })
+    (vectors stat t.db)
+
+let separating_classifier stat t = Linsep.separable (examples stat t)
+let separates stat t = separating_classifier stat t <> None
+
+let induced_labeling stat classifier db =
+  List.fold_left
+    (fun acc (e, vec) ->
+      Labeling.set e (Linsep.classify classifier vec) acc)
+    Labeling.empty (vectors stat db)
+
+let errors stat classifier (t : Labeling.training) =
+  Labeling.disagreement (induced_labeling stat classifier t.db) t.labeling
+
+let max_atoms stat =
+  List.fold_left (fun acc q -> max acc (Cq.num_atoms q)) 0 stat
+
+let pp fmt stat =
+  Format.fprintf fmt "@[<v>";
+  List.iteri (fun i q -> Format.fprintf fmt "q%d: %a@ " (i + 1) Cq.pp q) stat;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,66 @@
+let to_training ~edges =
+  if edges = [] then invalid_arg "Vc_reduction.to_training: empty edge list";
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Vc_reduction.to_training: self-loop")
+    edges;
+  let node v = Elem.sym (Printf.sprintf "n%d" v) in
+  let edge_entity (u, v) = Elem.sym (Printf.sprintf "e%d_%d" (min u v) (max u v)) in
+  let vertices =
+    List.sort_uniq compare (List.concat_map (fun (u, v) -> [ u; v ]) edges)
+  in
+  let db = ref Db.empty in
+  List.iter
+    (fun v ->
+      db := Db.add (Fact.make_l (Printf.sprintf "L%d" v) [ node v ]) !db)
+    vertices;
+  List.iter
+    (fun (u, v) ->
+      let e = edge_entity (u, v) in
+      db := Db.add (Fact.make_l "Inc" [ e; node u ]) !db;
+      db := Db.add (Fact.make_l "Inc" [ e; node v ]) !db;
+      db := Db.add_entity e !db)
+    edges;
+  let p = Elem.sym "p_distinguished" in
+  db := Db.add (Fact.make_l "Inc" [ p; Elem.sym "n_fresh" ]) !db;
+  db := Db.add_entity p !db;
+  let labeled =
+    (p, Labeling.Pos)
+    :: List.map (fun e -> (edge_entity e, Labeling.Neg)) edges
+  in
+  Labeling.training !db (Labeling.of_list labeled)
+
+let min_vertex_cover ~edges =
+  let vertices =
+    Array.of_list
+      (List.sort_uniq compare (List.concat_map (fun (u, v) -> [ u; v ]) edges))
+  in
+  let n = Array.length vertices in
+  let index v =
+    let rec go i = if vertices.(i) = v then i else go (i + 1) in
+    go 0
+  in
+  let best = ref n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let size =
+      let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
+      pop mask 0
+    in
+    if size < !best then begin
+      let covers =
+        List.for_all
+          (fun (u, v) ->
+            mask land (1 lsl index u) <> 0 || mask land (1 lsl index v) <> 0)
+          edges
+      in
+      if covers then best := size
+    end
+  done;
+  !best
+
+let min_dimension_equals_cover ~edges =
+  let t = to_training ~edges in
+  let dim =
+    Cqfeat.min_dimension (Language.Cq_atoms { m = 2; p = None }) t
+  in
+  (dim, min_vertex_cover ~edges)

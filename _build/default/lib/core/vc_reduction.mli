@@ -1,0 +1,30 @@
+(** The Vertex-Cover reduction behind Proposition 6.9: CQ[m]-Sep[*] is
+    NP-complete even for fixed-arity schemas.
+
+    Construction: for a graph [G = (V, E)], build an entity per edge
+    plus one distinguished entity [p]; a node element [n_v] per vertex
+    carries a unique unary label [L_v] and incidence facts
+    [Inc(e, n_v)]; [p] is incident to a fresh unlabeled node. Edge
+    entities are negative, [p] positive.
+
+    Over this database, the non-constant CQ[2] indicator sets are the
+    vertex stars [{e | v ∈ e}] and the single edges, no feature selects
+    [p] without selecting everything, and [p]'s all-(-1) vector must be
+    separated from every edge — so a statistic of dimension ℓ separates
+    iff ℓ features' stars/edges cover [E], and since a star dominates
+    any single edge through it, the minimum dimension is exactly the
+    minimum vertex cover of [G]. *)
+
+(** [to_training ~edges] builds the training database for the graph
+    with edge list [edges] (vertices are the integers mentioned).
+    @raise Invalid_argument on an empty edge list or a self-loop. *)
+val to_training : edges:(int * int) list -> Labeling.training
+
+(** [min_vertex_cover ~edges] is the brute-force minimum vertex cover
+    size (for cross-checking the reduction; exponential). *)
+val min_vertex_cover : edges:(int * int) list -> int
+
+(** [min_dimension_equals_cover ~edges] runs both sides: the minimal
+    separating dimension of the reduced instance (over CQ[2]) and the
+    brute-force cover number, returning the pair. *)
+val min_dimension_equals_cover : edges:(int * int) list -> int option * int

@@ -1,0 +1,1 @@
+lib/covergame/cover_game.ml: Array Db Elem Fact Hashtbl List Queue

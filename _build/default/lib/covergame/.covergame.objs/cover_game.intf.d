@@ -1,0 +1,1 @@
+lib/covergame/cover_game.mli: Db Elem

@@ -1,0 +1,1 @@
+lib/covergame/unravel.ml: Cover_game Cq Db Elem Fact List

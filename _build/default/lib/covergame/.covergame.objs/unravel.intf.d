@@ -1,0 +1,1 @@
+lib/covergame/unravel.mli: Cq Db Elem

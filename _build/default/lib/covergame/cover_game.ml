@@ -1,0 +1,413 @@
+(* Greatest-fixpoint decision of the existential k-cover game.
+
+   Positions are partial homomorphisms keyed by (covered-set index,
+   assignment). Two kill conditions drive a worklist:
+   - forth: a position with domain X dies when, for some element a with
+     X ∪ {a} still k-covered, none of its one-element extensions by a
+     is alive (Spoiler pebbles a and Duplicator has no answer);
+   - restriction-closure: a position dies when one of its one-element
+     restrictions died (Spoiler removes pebbles first, then wins from
+     the smaller position).
+   Duplicator wins iff the empty position survives the fixpoint. *)
+
+let set_key s = Elem.Set.elements s
+
+(* All k-covered subsets of dom(d): every subset of a union of at most
+   k facts. Returns the sets plus a membership table. *)
+let covered_sets ~k d =
+  let facts = Array.of_list (Db.facts d) in
+  let nf = Array.length facts in
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let add s =
+    let key = set_key s in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := s :: !out
+    end
+  in
+  let rec subsets elems current =
+    match elems with
+    | [] -> add current
+    | e :: rest ->
+        subsets rest current;
+        subsets rest (Elem.Set.add e current)
+  in
+  let rec unions start depth current =
+    subsets (Elem.Set.elements current) Elem.Set.empty;
+    if depth < k then
+      for i = start to nf - 1 do
+        unions (i + 1) (depth + 1)
+          (Elem.Set.union current (Fact.elems facts.(i)))
+      done
+  in
+  unions 0 0 Elem.Set.empty;
+  (!out, seen)
+
+let covered_subsets ~k d = fst (covered_sets ~k d)
+
+(* Partial homomorphisms with domain exactly [x] (a k-covered set),
+   forced on pinned elements, respecting the facts of [d] lying inside
+   x ∪ pinned. *)
+let positions_of_set ~d ~d' ~pin x =
+  let pin_dom =
+    Elem.Map.fold (fun a _ acc -> Elem.Set.add a acc) pin Elem.Set.empty
+  in
+  let scope = Elem.Set.union x pin_dom in
+  let facts_in =
+    List.filter
+      (fun f -> Elem.Set.subset (Fact.elems f) scope)
+      (List.concat_map
+         (fun e -> Db.facts_with_elem e d)
+         (Elem.Set.elements scope))
+  in
+  let facts_in = List.sort_uniq Fact.compare facts_in in
+  let dom_d' = Elem.Set.elements (Db.domain d') in
+  let elems = Elem.Set.elements x in
+  let check asg =
+    (* Facts whose elements are all assigned must map into d'. *)
+    List.for_all
+      (fun f ->
+        let ok = ref true in
+        let mapped =
+          Array.map
+            (fun a ->
+              match Elem.Map.find_opt a asg with
+              | Some v -> v
+              | None ->
+                  ok := false;
+                  a)
+            (Fact.args f)
+        in
+        (not !ok) || Db.mem (Fact.make (Fact.rel f) mapped) d')
+      facts_in
+  in
+  let results = ref [] in
+  let rec assign todo asg =
+    match todo with
+    | [] -> results := asg :: !results
+    | e :: rest -> begin
+        match Elem.Map.find_opt e pin with
+        | Some v ->
+            let asg' = Elem.Map.add e v asg in
+            if check asg' then assign rest asg'
+        | None ->
+            List.iter
+              (fun v ->
+                let asg' = Elem.Map.add e v asg in
+                if check asg' then assign rest asg')
+              dom_d'
+      end
+  in
+  let seed = pin in
+  if check seed then assign elems seed;
+  (* Strip the pinned-but-not-pebbled entries so that the stored
+     assignment has domain exactly x. *)
+  List.map
+    (fun asg -> Elem.Map.filter (fun a _ -> Elem.Set.mem a x) asg)
+    !results
+
+(* The [check] above re-verifies all facts at every step; acceptable
+   for the small scopes of covered sets (≤ k·arity + |pin| elements). *)
+
+(* Shared context: everything about the game between d and d' that
+   does not depend on the pinned tuple — the covered sets, the full
+   unpinned position lattice and its parent/child links. A pinned
+   query then only filters the initially-alive positions and reruns
+   the kill propagation, which makes the n^2 games of [preorder]
+   dramatically cheaper. *)
+
+type context = {
+  k : int;
+  d : Db.t;
+  d' : Db.t;
+  set_arr : Elem.Set.t array;
+  valid_ext : Elem.t list array;  (* per set: legal pebble additions *)
+  pos_set : int array;  (* per position: its covered-set index *)
+  pos_asg : Elem.t Elem.Map.t array;  (* per position: the mapping *)
+  c_links : (Elem.t * int) list array;  (* children by extension elem *)
+  parent_of : (int * Elem.t) list array;
+  empty_pos : int option;  (* id of the empty position *)
+}
+
+let make_context ~k d d' =
+  if k < 1 then invalid_arg "Cover_game.make_context: k must be >= 1";
+  let sets, set_tbl = covered_sets ~k d in
+  let set_arr = Array.of_list sets in
+  let nsets = Array.length set_arr in
+  let set_index = Hashtbl.create 256 in
+  Array.iteri (fun i s -> Hashtbl.replace set_index (set_key s) i) set_arr;
+  let covered s = Hashtbl.mem set_tbl (set_key s) in
+  let pos_tbl = Hashtbl.create 1024 in
+  let pos_list = ref [] in
+  let npos = ref 0 in
+  for si = 0 to nsets - 1 do
+    let x = set_arr.(si) in
+    let homs = positions_of_set ~d ~d' ~pin:Elem.Map.empty x in
+    List.iter
+      (fun asg ->
+        let key = (si, Elem.Map.bindings asg) in
+        if not (Hashtbl.mem pos_tbl key) then begin
+          Hashtbl.replace pos_tbl key !npos;
+          pos_list := (si, asg) :: !pos_list;
+          incr npos
+        end)
+      homs
+  done;
+  let positions = Array.of_list (List.rev !pos_list) in
+  let n = !npos in
+  let pos_set = Array.map fst positions in
+  let pos_asg = Array.map snd positions in
+  let c_links = Array.make n [] in
+  let parent_of = Array.make n [] in
+  Array.iteri
+    (fun id (si, asg) ->
+      let x = set_arr.(si) in
+      Elem.Set.iter
+        (fun c ->
+          let px = Elem.Set.remove c x in
+          match Hashtbl.find_opt set_index (set_key px) with
+          | None -> () (* unreachable: subsets of covered sets are covered *)
+          | Some psi ->
+              let pasg = Elem.Map.remove c asg in
+              let pkey = (psi, Elem.Map.bindings pasg) in
+              (match Hashtbl.find_opt pos_tbl pkey with
+              | None -> () (* unreachable: restrictions of homs are homs *)
+              | Some pid ->
+                  c_links.(pid) <- (c, id) :: c_links.(pid);
+                  parent_of.(id) <- (pid, c) :: parent_of.(id)))
+        x)
+    positions;
+  let valid_ext = Array.make nsets [] in
+  let dom_list = Elem.Set.elements (Db.domain d) in
+  for si = 0 to nsets - 1 do
+    let x = set_arr.(si) in
+    valid_ext.(si) <-
+      List.filter
+        (fun a -> (not (Elem.Set.mem a x)) && covered (Elem.Set.add a x))
+        dom_list
+  done;
+  let empty_pos =
+    match Hashtbl.find_opt set_index [] with
+    | None -> None
+    | Some esi -> Hashtbl.find_opt pos_tbl (esi, [])
+  in
+  { k; d; d'; set_arr; valid_ext; pos_set; pos_asg; c_links; parent_of;
+    empty_pos }
+
+(* Is a stored unpinned position compatible with the pin: pinned
+   elements it pebbles must carry the pinned values, and the facts of
+   [d] inside (its set ∪ pinned elements) that touch a pinned element
+   must map into [d'] under (assignment ∪ pin). *)
+let pin_compatible ctx ~pin ~pin_facts id =
+  let asg = ctx.pos_asg.(id) in
+  let x = ctx.set_arr.(ctx.pos_set.(id)) in
+  Elem.Map.for_all
+    (fun a b ->
+      match Elem.Map.find_opt a asg with
+      | Some v -> Elem.equal v b
+      | None -> true)
+    pin
+  && List.for_all
+       (fun f ->
+         let ok = ref true in
+         let mapped =
+           Array.map
+             (fun a ->
+               match Elem.Map.find_opt a pin with
+               | Some v -> v
+               | None -> begin
+                   match Elem.Map.find_opt a asg with
+                   | Some v -> v
+                   | None ->
+                       (* element outside x ∪ pin: fact not in scope *)
+                       ok := false;
+                       a
+                 end)
+             (Fact.args f)
+         in
+         (not !ok) || Db.mem (Fact.make (Fact.rel f) mapped) ctx.d')
+       (pin_facts x)
+
+let holds_ctx ctx ~pin:pin_list =
+  (* A pin mapping one element to two targets is not a function. *)
+  let consistent = ref true in
+  let pin =
+    List.fold_left
+      (fun acc (a, b) ->
+        match Elem.Map.find_opt a acc with
+        | Some b' when not (Elem.equal b b') ->
+            consistent := false;
+            acc
+        | _ -> Elem.Map.add a b acc)
+      Elem.Map.empty pin_list
+  in
+  if not !consistent then false
+  else begin
+    let pin = Elem.Map.filter (fun a _ -> Elem.Set.mem a (Db.domain ctx.d)) pin in
+    (* facts of d touching a pinned element, indexed lazily per set *)
+    let pin_fact_pool =
+      List.sort_uniq Fact.compare
+        (Elem.Map.fold
+           (fun a _ acc -> Db.facts_with_elem a ctx.d @ acc)
+           pin [])
+    in
+    let pin_dom =
+      Elem.Map.fold (fun a _ acc -> Elem.Set.add a acc) pin Elem.Set.empty
+    in
+    let pin_facts x =
+      let scope = Elem.Set.union x pin_dom in
+      List.filter (fun f -> Elem.Set.subset (Fact.elems f) scope) pin_fact_pool
+    in
+    let n = Array.length ctx.pos_set in
+    if n = 0 then false
+    else begin
+      let alive = Array.make n false in
+      for id = 0 to n - 1 do
+        alive.(id) <- pin_compatible ctx ~pin ~pin_facts id
+      done;
+      (* surviving-extension counts per (parent, extension element) *)
+      let ext_count = Hashtbl.create 1024 in
+      let bump key delta =
+        let c =
+          match Hashtbl.find_opt ext_count key with Some c -> c | None -> 0
+        in
+        Hashtbl.replace ext_count key (c + delta)
+      in
+      for pid = 0 to n - 1 do
+        List.iter
+          (fun (c, child) -> if alive.(child) then bump (pid, c) 1)
+          ctx.c_links.(pid)
+      done;
+      let queue = Queue.create () in
+      let kill id =
+        if alive.(id) then begin
+          alive.(id) <- false;
+          Queue.add id queue
+        end
+      in
+      (* initial forth failures *)
+      for id = 0 to n - 1 do
+        if alive.(id) then
+          List.iter
+            (fun a ->
+              let c =
+                match Hashtbl.find_opt ext_count (id, a) with
+                | Some c -> c
+                | None -> 0
+              in
+              if c = 0 then kill id)
+            ctx.valid_ext.(ctx.pos_set.(id))
+      done;
+      (* also: dead-by-pin positions must still drag down their
+         parents' counts — handled above since counts only include
+         alive children — and their restriction-closure effect: a dead
+         position's children must die. Enqueue dead ones' children. *)
+      for id = 0 to n - 1 do
+        if not alive.(id) then
+          List.iter (fun (_, child) -> kill child) ctx.c_links.(id)
+      done;
+      while not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        List.iter (fun (_, child) -> kill child) ctx.c_links.(id);
+        List.iter
+          (fun (pid, c) ->
+            if alive.(pid) then begin
+              bump (pid, c) (-1);
+              let cnt =
+                match Hashtbl.find_opt ext_count (pid, c) with
+                | Some c -> c
+                | None -> 0
+              in
+              if cnt <= 0 then kill pid
+            end)
+          ctx.parent_of.(id)
+      done;
+      match ctx.empty_pos with Some id -> alive.(id) | None -> false
+    end
+  end
+
+let game ~k d pin d' =
+  let ctx = make_context ~k d d' in
+  holds_ctx ctx ~pin:(Elem.Map.bindings pin)
+
+let holds ~k (d, tuple) (d', tuple') =
+  if k < 1 then invalid_arg "Cover_game.holds: k must be >= 1";
+  if List.length tuple <> List.length tuple' then
+    invalid_arg "Cover_game.holds: tuples of different lengths";
+  (* A pin that maps one element to two distinct targets is not a
+     function, hence not a partial homomorphism: Spoiler wins. *)
+  let consistent = ref true in
+  let pin =
+    List.fold_left2
+      (fun acc a b ->
+        match Elem.Map.find_opt a acc with
+        | Some b' when not (Elem.equal b b') ->
+            consistent := false;
+            acc
+        | _ -> Elem.Map.add a b acc)
+      Elem.Map.empty tuple tuple'
+  in
+  !consistent && game ~k d pin d'
+
+let holds1 ~k (d, a) (d', b) = holds ~k (d, [ a ]) (d', [ b ])
+let boolean ~k d d' = holds ~k (d, []) (d', [])
+
+let preorder ?(transitive_pruning = true) ~k d entities =
+  let ents = Array.of_list entities in
+  let n = Array.length ents in
+  let m = Array.make_matrix n n false in
+  (* →_k is reflexive and transitive; fill the matrix with closure
+     pruning: once m.(i).(j) and m.(j).(l) are known, m.(i).(l) is
+     forced true. [transitive_pruning] exists only so the ablation
+     bench can measure what the pruning saves. *)
+  let known = Array.make_matrix n n false in
+  let set i j v =
+    if not known.(i).(j) then begin
+      known.(i).(j) <- true;
+      m.(i).(j) <- v
+    end
+  in
+  let ctx = make_context ~k d d in
+  if transitive_pruning then
+    for i = 0 to n - 1 do
+      set i i true
+    done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if not known.(i).(j) then begin
+        let v = holds_ctx ctx ~pin:[ (ents.(i), ents.(j)) ] in
+        set i j v;
+        if v && transitive_pruning then
+          for l = 0 to n - 1 do
+            if known.(j).(l) && m.(j).(l) then set i l true;
+            if known.(l).(i) && m.(l).(i) then set l j true
+          done
+      end
+    done
+  done;
+  m
+
+let equiv_classes ~k d entities =
+  let ents = Array.of_list entities in
+  let n = Array.length ents in
+  let m = preorder ~k d entities in
+  let assigned = Array.make n false in
+  let classes = ref [] in
+  for i = 0 to n - 1 do
+    if not assigned.(i) then begin
+      let cls = ref [] in
+      for j = n - 1 downto 0 do
+        if (not assigned.(j)) && m.(i).(j) && m.(j).(i) then begin
+          assigned.(j) <- true;
+          cls := ents.(j) :: !cls
+        end
+      done;
+      (* The representative e_i comes first. *)
+      let cls =
+        ents.(i) :: List.filter (fun e -> not (Elem.equal e ents.(i))) !cls
+      in
+      classes := cls :: !classes
+    end
+  done;
+  List.rev !classes

@@ -1,0 +1,38 @@
+(** k-cover unravelings: materializing the canonical GHW(k) feature
+    query of a pointed database (feature generation, Section 5.2).
+
+    The depth-[t] unraveling of [(D, e)] is the GHW(k) query whose
+    canonical database is a tree of k-covered sets: every node carries a
+    fresh copy of the facts of [D] lying inside its set (plus the
+    distinguished element [e], which is never copied — it becomes the
+    free variable), and a child shares the variables of the elements it
+    has in common with its parent. Homomorphisms from the unraveling
+    into [(D', e')] are exactly Duplicator strategies for [t] rounds of
+    set-moves in the existential k-cover game, so as [t] grows the
+    unraveling converges to the canonical query [q_e] of Lemma 5.4 with
+    [q_e(D') = { e' | (D,e) →_k (D',e') }].
+
+    The size is [Θ(S^t)] for [S] k-covered sets — the exponential blowup
+    that Proposition 5.6 allows and Theorem 5.7 proves unavoidable.
+    This module is therefore a witness, not a scalable tool; Algorithm 1
+    ({!Ghw_classify} in the core library) classifies {e without}
+    materializing these queries. *)
+
+(** [unravel ~k ~depth (d, e)] is the depth-[depth] unraveling of
+    [(d, e)]. [depth = 0] yields the query consisting of the facts on
+    [e] alone.
+    @raise Invalid_argument if [k < 1] or [depth < 0]. *)
+val unravel : k:int -> depth:int -> Db.t * Elem.t -> Cq.t
+
+(** [node_count ~k ~depth d] is the number of tree nodes the unraveling
+    would create ([(S^{depth+1}-1)/(S-1)] for [S] covered sets) without
+    building it — used by the Theorem 5.7 feature-size bench. *)
+val node_count : k:int -> depth:int -> Db.t -> int
+
+(** [stable_unravel ~k ~max_depth (d, e)] increases the depth until two
+    consecutive unravelings are equivalent (then the limit [q_e] is
+    reached on every database of interest) or [max_depth] is hit;
+    returns the query and the depth used. Equivalence of the
+    exponential-size unravelings is itself expensive: keep inputs
+    tiny. *)
+val stable_unravel : k:int -> max_depth:int -> Db.t * Elem.t -> Cq.t * int

@@ -1,0 +1,1 @@
+lib/cq/cq.ml: Array Db Elem Fact Format Hashtbl Hom List Printf String

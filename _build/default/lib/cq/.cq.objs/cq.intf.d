@@ -1,0 +1,1 @@
+lib/cq/cq.mli: Db Elem Fact Format

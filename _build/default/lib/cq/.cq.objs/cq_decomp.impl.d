@@ -1,0 +1,1 @@
+lib/cq/cq_decomp.ml: Array Cq Elem Fact Hashtbl List

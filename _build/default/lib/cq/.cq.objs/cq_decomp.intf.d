@@ -1,0 +1,1 @@
+lib/cq/cq_decomp.mli: Cq Elem Fact

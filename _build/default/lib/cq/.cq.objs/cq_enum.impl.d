@@ -1,0 +1,1 @@
+lib/cq/cq_enum.ml: Array Cq Db Elem Fact Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cq/cq_enum.mli: Cq Db

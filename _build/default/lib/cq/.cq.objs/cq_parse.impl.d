@@ -1,0 +1,1 @@
+lib/cq/cq_parse.ml: Cq Elem Fact List Printf String

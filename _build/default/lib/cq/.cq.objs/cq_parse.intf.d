@@ -1,0 +1,1 @@
+lib/cq/cq_parse.mli: Cq

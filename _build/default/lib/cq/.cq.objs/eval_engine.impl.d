@@ -1,0 +1,1 @@
+lib/cq/eval_engine.ml: Cq Cq_decomp Elem Ghw_eval Join_tree List

@@ -1,0 +1,1 @@
+lib/cq/eval_engine.mli: Cq Cq_decomp Db Elem Join_tree

@@ -1,0 +1,1 @@
+lib/cq/ghw_eval.ml: Array Cq Cq_decomp Db Elem Fact Hashtbl List

@@ -1,0 +1,1 @@
+lib/cq/ghw_eval.mli: Cq Cq_decomp Db Elem

@@ -1,0 +1,1 @@
+lib/cq/join_tree.ml: Array Cq Db Elem Fact Hashtbl List

@@ -1,0 +1,1 @@
+lib/cq/join_tree.mli: Cq Db Elem

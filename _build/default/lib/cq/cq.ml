@@ -1,0 +1,288 @@
+type t = { free : Elem.t; canon : Db.t }
+
+let default_free = Elem.sym "x"
+
+let of_canonical ~free db = { free; canon = Db.add_entity free db }
+let make ~free atoms = of_canonical ~free (Db.of_facts atoms)
+let of_pointed_db (db, e) = of_canonical ~free:e db
+
+let free q = q.free
+let canonical q = q.canon
+
+let eta_atom q = Fact.make Db.entity_rel [| q.free |]
+
+let atoms q =
+  List.filter (fun f -> not (Fact.equal f (eta_atom q))) (Db.facts q.canon)
+
+let num_atoms q = List.length (atoms q)
+let vars q = Db.domain q.canon
+let existential_vars q = Elem.Set.remove q.free (vars q)
+
+let max_var_occurrences q =
+  let occ = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Array.iter
+        (fun v ->
+          let c = try Hashtbl.find occ v with Not_found -> 0 in
+          Hashtbl.replace occ v (c + 1))
+        (Fact.args f))
+    (atoms q);
+  Hashtbl.fold (fun _ c acc -> max c acc) occ 0
+
+let selects q db e =
+  Hom.pointed q.canon [ q.free ] db [ e ]
+
+let eval q db =
+  List.filter (fun e -> selects q db e) (Db.entities db)
+
+let contained_in q1 q2 =
+  Hom.pointed q2.canon [ q2.free ] q1.canon [ q1.free ]
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+(* Conjunction: tag the existential variables of each conjunct with a
+   distinct index so they cannot collide, and glue the free
+   variables. *)
+let conjoin q1 q2 =
+  let tag i fr v =
+    if Elem.equal v fr then default_free else Elem.tup [ Elem.int i; v ]
+  in
+  let c1 = Db.map_elems (tag 1 q1.free) q1.canon in
+  let c2 = Db.map_elems (tag 2 q2.free) q2.canon in
+  of_canonical ~free:default_free (Db.union c1 c2)
+
+let conjoin_all = function
+  | [] -> invalid_arg "Cq.conjoin_all: empty list"
+  | q :: qs -> List.fold_left conjoin q qs
+
+let top = make ~free:default_free []
+
+(* Core computation: repeatedly look for an element a (other than the
+   free variable) that can be retracted away — i.e. a homomorphism from
+   the canonical database into the sub-database of facts avoiding a,
+   fixing the free variable. Replacing the query by the image keeps it
+   equivalent (fold in one direction, inclusion in the other). *)
+let core q =
+  let rec shrink canon =
+    let candidates = Elem.Set.remove q.free (Db.domain canon) in
+    let try_drop a =
+      let without_a =
+        Db.filter (fun f -> not (Elem.Set.mem a (Fact.elems f))) canon
+      in
+      if Elem.Set.mem q.free (Db.domain without_a) || Db.size without_a = 0
+      then
+        match Hom.find ~fix:[ (q.free, q.free) ] ~src:canon ~dst:without_a () with
+        | Some h ->
+            let image =
+              Db.of_facts
+                (List.map
+                   (Fact.map_elems (fun v -> Elem.Map.find v h))
+                   (Db.facts canon))
+            in
+            Some image
+        | None -> None
+      else None
+    in
+    let rec first_drop = function
+      | [] -> canon
+      | a :: rest -> begin
+          match try_drop a with
+          | Some image -> shrink image
+          | None -> first_drop rest
+        end
+    in
+    first_drop (Elem.Set.elements candidates)
+  in
+  { q with canon = shrink q.canon }
+
+(* Deterministic canonical renaming: breadth-first from the free
+   variable through atoms (sorted structurally), then leftovers. *)
+let canonical_order q =
+  let order = ref [] in
+  let seen = ref Elem.Set.empty in
+  let push v =
+    if not (Elem.Set.mem v !seen) then begin
+      seen := Elem.Set.add v !seen;
+      order := v :: !order
+    end
+  in
+  push q.free;
+  let sorted_facts = List.sort Fact.compare (Db.facts q.canon) in
+  let rec loop () =
+    let before = Elem.Set.cardinal !seen in
+    List.iter
+      (fun f ->
+        if Array.exists (fun v -> Elem.Set.mem v !seen) (Fact.args f) then
+          Array.iter push (Fact.args f))
+      sorted_facts;
+    if Elem.Set.cardinal !seen > before then loop ()
+  in
+  loop ();
+  List.iter (fun f -> Array.iter push (Fact.args f)) sorted_facts;
+  List.rev !order
+
+let rename_canonically q =
+  let order = canonical_order q in
+  let mapping = Hashtbl.create 16 in
+  List.iteri
+    (fun i v ->
+      let name =
+        if i = 0 then default_free else Elem.sym (Printf.sprintf "y%d" (i - 1))
+      in
+      Hashtbl.replace mapping v name)
+    order;
+  let rename v = Hashtbl.find mapping v in
+  { free = rename q.free; canon = Db.map_elems rename q.canon }
+
+(* Isomorphism-canonical string: minimize the rendered sorted atom list
+   over all renamings of existential variables. Exponential in the
+   variable count; used only to deduplicate the small queries of CQ[m]
+   enumeration. *)
+let render_with q mapping =
+  let rename v = Elem.Map.find v mapping in
+  let facts =
+    List.map (Fact.map_elems rename) (Db.facts q.canon)
+  in
+  String.concat ";"
+    (List.sort String.compare (List.map Fact.to_string facts))
+
+let render_plain q =
+  let q = rename_canonically q in
+  String.concat ";"
+    (List.sort String.compare (List.map Fact.to_string (Db.facts q.canon)))
+
+(* Color refinement on the variables of a query: colors are structural
+   values (no per-query interning) so they are comparable across
+   queries and invariant under isomorphism. *)
+let refine_var_colors q ~rounds =
+  let atoms = List.sort Fact.compare (Db.facts q.canon) in
+  let initial v =
+    let occ =
+      List.concat_map
+        (fun f ->
+          let args = Fact.args f in
+          List.filter_map
+            (fun i ->
+              if Elem.equal args.(i) v then
+                Some (Fact.rel f, i, Array.length args)
+              else None)
+            (List.init (Array.length args) (fun i -> i)))
+        atoms
+    in
+    (Elem.equal v q.free, List.sort compare occ)
+  in
+  let color = Hashtbl.create 16 in
+  Elem.Set.iter
+    (fun v -> Hashtbl.replace color v (Hashtbl.hash (initial v)))
+    (Db.domain q.canon);
+  for _round = 1 to rounds do
+    let updates =
+      Elem.Set.fold
+        (fun v acc ->
+          let sigs =
+            List.filter_map
+              (fun f ->
+                let args = Fact.args f in
+                if Array.exists (Elem.equal v) args then
+                  Some
+                    ( Fact.rel f,
+                      Array.to_list
+                        (Array.map (fun a -> Hashtbl.find color a) args),
+                      List.filter_map
+                        (fun i ->
+                          if Elem.equal args.(i) v then Some i else None)
+                        (List.init (Array.length args) (fun i -> i)) )
+                else None)
+              atoms
+          in
+          (v, Hashtbl.hash (Hashtbl.find color v, List.sort compare sigs))
+          :: acc)
+        (Db.domain q.canon) []
+    in
+    List.iter (fun (v, c) -> Hashtbl.replace color v c) updates
+  done;
+  color
+
+(* Isomorphism-canonical string: assign the names y0.. to existential
+   variables grouped by refined color (classes ordered by color value,
+   a structural invariant), minimizing the rendered atom list only
+   over permutations within each color class. Most small queries have
+   singleton classes, so the search is near-linear; the fallback
+   deterministic renaming is used above 10 existential variables. *)
+let iso_canonical_string q =
+  let ex = Elem.Set.elements (existential_vars q) in
+  let n = List.length ex in
+  if n > 10 then render_plain q
+  else begin
+    let color = refine_var_colors q ~rounds:2 in
+    let classes =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          let c = Hashtbl.find color v in
+          let existing =
+            match Hashtbl.find_opt tbl c with Some l -> l | None -> []
+          in
+          Hashtbl.replace tbl c (v :: existing))
+        ex;
+      List.sort
+        (fun (c1, _) (c2, _) -> compare c1 c2)
+        (Hashtbl.fold (fun c vs acc -> (c, List.rev vs) :: acc) tbl [])
+    in
+    (* Name blocks: class i gets names y_offset.. in some within-class
+       permutation. *)
+    let best = ref None in
+    let rec assign_classes classes offset mapping =
+      match classes with
+      | [] ->
+          let full = Elem.Map.add q.free default_free mapping in
+          let s = render_with q full in
+          (match !best with
+          | Some b when String.compare b s <= 0 -> ()
+          | _ -> best := Some s)
+      | (_, members) :: rest ->
+          let size = List.length members in
+          let names =
+            List.init size (fun i ->
+                Elem.sym (Printf.sprintf "y%d" (offset + i)))
+          in
+          let rec perms chosen remaining_names remaining_members k =
+            match remaining_members with
+            | [] -> k chosen
+            | v :: more ->
+                List.iter
+                  (fun name ->
+                    perms
+                      (Elem.Map.add v name chosen)
+                      (List.filter
+                         (fun n' -> not (Elem.equal n' name))
+                         remaining_names)
+                      more k)
+                  remaining_names
+          in
+          perms mapping names members (fun m ->
+              assign_classes rest (offset + size) m)
+    in
+    assign_classes classes 0 Elem.Map.empty;
+    match !best with
+    | Some s -> s
+    | None -> render_with q (Elem.Map.add q.free default_free Elem.Map.empty)
+  end
+
+let equal q1 q2 = Elem.equal q1.free q2.free && Db.equal q1.canon q2.canon
+
+let compare q1 q2 =
+  let c = Elem.compare q1.free q2.free in
+  if c <> 0 then c else Db.compare q1.canon q2.canon
+
+let to_string q =
+  let q = rename_canonically q in
+  let body =
+    match atoms q with
+    | [] -> "true"
+    | ats -> String.concat ", " (List.map Fact.to_string ats)
+  in
+  Printf.sprintf "%s :- %s" (Elem.to_string q.free) body
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

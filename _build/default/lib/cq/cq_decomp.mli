@@ -1,0 +1,50 @@
+(** Tree decompositions and generalized hypertree width of feature CQs.
+
+    Following Chen & Dalmau's definition (adopted by the paper,
+    Section 5): a tree decomposition of a CQ assigns to each tree node a
+    bag of {e existentially quantified} variables such that every
+    atom's existential variables fit in some bag and each variable's
+    bags form a subtree; the width of a bag is the minimum number of
+    atoms whose variables cover it, and ghw is the minimum over
+    decompositions of the maximum bag width.
+
+    Deciding [ghw ≤ k] is NP-hard in general; this implementation is an
+    exact exponential search (memoized separator recursion over the
+    primal graph on existential variables, with bags restricted to
+    k-coverable sets) intended for the small queries produced by
+    enumeration, unravelings and tests. *)
+
+(** [is_free_acyclic q] runs GYO reduction on the hypergraph of atoms
+    with the free variable deleted (it needs no covering); [true] means
+    the residual hypergraph is α-acyclic, which implies [ghw q ≤ 1]. *)
+val is_free_acyclic : Cq.t -> bool
+
+(** [ghw_le q k] decides whether [q] has a tree decomposition of width
+    at most [k]. [ghw_le q 0] holds only when [q] has no existential
+    variables in atoms.
+    @raise Invalid_argument if [k < 0] or [q] has more than 62
+    existential variables (bitset backing). *)
+val ghw_le : Cq.t -> int -> bool
+
+(** [ghw q] is the generalized hypertree width of [q] (0 for queries
+    whose atoms use no existential variable). *)
+val ghw : Cq.t -> int
+
+type decomp = {
+  bag : Elem.Set.t;  (** existential variables of this node *)
+  cover : Fact.t list;  (** ≤ k atoms whose variables cover the bag *)
+  children : decomp list;
+}
+(** A witnessing generalized hypertree decomposition node. *)
+
+(** [decomposition q ~k] is a width-≤k decomposition forest (one tree
+    per connected component of the existential primal graph), or [None]
+    when [ghw q > k]. Drives the polynomial width-k evaluation of
+    {!Ghw_eval}. *)
+val decomposition : Cq.t -> k:int -> decomp list option
+
+(** [check_decomposition q ~k forest] verifies the three defining
+    conditions — every atom's existential variables inside some bag,
+    the nodes of each variable forming a connected subforest, and each
+    bag covered by at most [k] of the query's atoms. Used by tests. *)
+val check_decomposition : Cq.t -> k:int -> decomp list -> bool

@@ -1,0 +1,100 @@
+(* Feature queries are generated as sorted-by-relation atom sequences
+   with a canonical fresh-variable discipline (the i-th fresh variable
+   to appear is y_{i}), then deduplicated up to isomorphism. Every CQ
+   with at most [max_atoms] atoms is isomorphic to one generated this
+   way: sort its atoms by relation name and rename variables by first
+   occurrence. *)
+
+let schema_of_db db =
+  List.filter (fun (rel, _) -> rel <> Db.entity_rel) (Db.relations db)
+
+let fresh_var i = Elem.sym (Printf.sprintf "y%d" i)
+
+let generate ?max_var_occ ~schema ~max_atoms ~emit () =
+  let schema =
+    List.sort (fun (a, _) (b, _) -> String.compare a b)
+      (List.filter (fun (rel, _) -> rel <> Db.entity_rel) schema)
+  in
+  let schema = Array.of_list schema in
+  let occ_ok occ =
+    match max_var_occ with
+    | None -> true
+    | Some p -> Elem.Map.for_all (fun _ c -> c <= p) occ
+  in
+  (* Enumerate argument tuples for one atom of arity [ar]: each
+     position is an existing variable or the next fresh one. *)
+  let rec tuples ar next_fresh existing acc k =
+    if ar = 0 then k (List.rev acc) next_fresh
+    else begin
+      List.iter
+        (fun v -> tuples (ar - 1) next_fresh existing (v :: acc) k)
+        existing;
+      let v = fresh_var next_fresh in
+      tuples (ar - 1) (next_fresh + 1) (existing @ [ v ]) (v :: acc) k
+    end
+  in
+  let bump occ vs =
+    List.fold_left
+      (fun occ v ->
+        let c = match Elem.Map.find_opt v occ with Some c -> c | None -> 0 in
+        Elem.Map.add v (c + 1) occ)
+      occ vs
+  in
+  let rec go atoms count next_fresh existing occ min_rel =
+    emit (List.rev atoms);
+    if count < max_atoms then
+      for r = min_rel to Array.length schema - 1 do
+        let rel, ar = schema.(r) in
+        tuples ar next_fresh existing [] (fun vs next_fresh' ->
+            let occ' = bump occ vs in
+            if occ_ok occ' then begin
+              let existing' =
+                List.fold_left
+                  (fun ex v ->
+                    if List.exists (Elem.equal v) ex then ex else ex @ [ v ])
+                  existing vs
+              in
+              go
+                (Fact.make_l rel vs :: atoms)
+                (count + 1) next_fresh' existing' occ' r
+            end)
+      done
+  in
+  go [] 0 0 [ Cq.default_free ] Elem.Map.empty 0
+
+let feature_queries ?max_var_occ ~schema ~max_atoms () =
+  let seen = Hashtbl.create 1024 in
+  let out = ref [] in
+  let emit atoms =
+    let q = Cq.make ~free:Cq.default_free atoms in
+    let key = Cq.iso_canonical_string q in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := q :: !out
+    end
+  in
+  generate ?max_var_occ ~schema ~max_atoms ~emit ();
+  List.rev !out
+
+let count ?max_var_occ ~schema ~max_atoms () =
+  let seen = Hashtbl.create 1024 in
+  let n = ref 0 in
+  let emit atoms =
+    let q = Cq.make ~free:Cq.default_free atoms in
+    let key = Cq.iso_canonical_string q in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      incr n
+    end
+  in
+  generate ?max_var_occ ~schema ~max_atoms ~emit ();
+  !n
+
+let dedupe_equivalent qs =
+  let keep = ref [] in
+  List.iter
+    (fun q ->
+      if not (List.exists (fun q' -> Cq.equivalent q q') !keep) then
+        keep := q :: !keep)
+    qs;
+  List.rev !keep

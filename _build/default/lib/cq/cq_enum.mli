@@ -1,0 +1,38 @@
+(** Enumeration of the regularized feature classes CQ[m] and CQ[m,p].
+
+    The key observation behind Proposition 4.1 of the paper: for fixed
+    [m] the statistic containing {e all} feature queries with at most
+    [m] atoms (over the relation symbols of the data) is separating iff
+    any statistic is, and its size is bounded by [r^m · 2^{p(k)}] for
+    [r] relation symbols of maximal arity [k]. This module materializes
+    that statistic.
+
+    Queries are generated with a canonical variable-introduction
+    discipline and deduplicated up to isomorphism (variable renaming),
+    which preserves indicator functions. Counts are exponential in
+    [m · k] — exactly the [2^{q(k)}] factor in the paper's FPT bound,
+    which the `prop41` benches sweep. *)
+
+(** [feature_queries ?max_var_occ ~schema ~max_atoms ()] is all feature
+    queries [q(x)] with at most [max_atoms] atoms over the relation
+    symbols of [schema] (pairs of name and arity, [eta] excluded —
+    the mandatory [eta(x)] atom is implicit and not counted), up to
+    isomorphism. With [max_var_occ = p] only queries in CQ[m,p] (each
+    variable occurring at most [p] times) are produced. Includes the
+    trivial query [eta(x)] (zero atoms). *)
+val feature_queries :
+  ?max_var_occ:int -> schema:(string * int) list -> max_atoms:int -> unit -> Cq.t list
+
+(** [count ?max_var_occ ~schema ~max_atoms ()] is
+    [List.length (feature_queries ...)] without retaining the list. *)
+val count :
+  ?max_var_occ:int -> schema:(string * int) list -> max_atoms:int -> unit -> int
+
+(** [dedupe_equivalent qs] removes semantic duplicates (pairwise
+    {!Cq.equivalent}); quadratic with NP-hard tests — only for small
+    lists. *)
+val dedupe_equivalent : Cq.t list -> Cq.t list
+
+(** [schema_of_db db] is the relation list of a database without the
+    entity relation, suitable for [~schema]. *)
+val schema_of_db : Db.t -> (string * int) list

@@ -1,0 +1,60 @@
+exception Parse_error of string
+
+let fail msg = raise (Parse_error msg)
+
+type token = Ident of string | Lpar | Rpar | Comma | Turnstile
+
+let tokenize s =
+  let n = String.length s in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c =
+    is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+  in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      match s.[i] with
+      | ' ' | '\t' | '\r' | '\n' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lpar :: acc)
+      | ')' -> go (i + 1) (Rpar :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | ':' when i + 1 < n && s.[i + 1] = '-' -> go (i + 2) (Turnstile :: acc)
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident s.[!j] do incr j done;
+          go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  in
+  go 0 []
+
+let parse_atom = function
+  | Ident rel :: Lpar :: rest ->
+      let rec args acc = function
+        | Ident v :: Comma :: rest -> args (Elem.sym v :: acc) rest
+        | Ident v :: Rpar :: rest -> (List.rev (Elem.sym v :: acc), rest)
+        | _ -> fail "expected variable list in atom"
+      in
+      let vs, rest = args [] rest in
+      (Fact.make_l rel vs, rest)
+  | _ -> fail "expected an atom"
+
+let parse s =
+  match tokenize s with
+  | Ident head :: Turnstile :: body -> begin
+      let free = Elem.sym head in
+      match body with
+      | [] | [ Ident "true" ] -> Cq.make ~free []
+      | _ ->
+          let rec atoms acc tokens =
+            let atom, rest = parse_atom tokens in
+            match rest with
+            | [] -> List.rev (atom :: acc)
+            | Comma :: rest -> atoms (atom :: acc) rest
+            | _ -> fail "expected ',' between atoms"
+          in
+          Cq.make ~free (atoms [] body)
+    end
+  | _ -> fail "expected 'head :- body'"

@@ -1,0 +1,13 @@
+(** Parsing feature queries from text.
+
+    Syntax: [x :- R(x,y), S(y)] — a head variable, [:-], and a
+    comma-separated atom list ([true] or nothing for the empty list).
+    Variables are identifiers; the head variable is the free variable.
+    The [eta(x)] atom is implicit (added by {!Cq.make}) but may also be
+    written explicitly. *)
+
+exception Parse_error of string
+
+(** [parse s] parses a feature query.
+    @raise Parse_error on malformed input. *)
+val parse : string -> Cq.t

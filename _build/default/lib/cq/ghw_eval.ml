@@ -1,0 +1,228 @@
+(* Width-k evaluation: materialize each decomposition node as a
+   relation over (bag ∪ {x}), then reduce the tree bottom-up with
+   semijoins. The free variable is a column of every node, so adding it
+   to all bags keeps the running-intersection property and makes the
+   per-entity answer drop out of the root.
+
+   A relation is (columns, rows): columns is a variable list, each row
+   a value array aligned with it. *)
+
+type rel = { cols : Elem.t list; rows : Elem.t array list }
+
+let col_index cols v =
+  let rec go i = function
+    | [] -> None
+    | w :: rest -> if Elem.equal w v then Some i else go (i + 1) rest
+  in
+  go 0 cols
+
+(* Relation of one atom: rows over its distinct variables. *)
+let atom_relation db atom =
+  let args = Fact.args atom in
+  let dvars =
+    let seen = ref Elem.Set.empty in
+    let out = ref [] in
+    Array.iter
+      (fun v ->
+        if not (Elem.Set.mem v !seen) then begin
+          seen := Elem.Set.add v !seen;
+          out := v :: !out
+        end)
+      args;
+    List.rev !out
+  in
+  let positions =
+    List.map
+      (fun v ->
+        let rec find i = if Elem.equal args.(i) v then i else find (i + 1) in
+        find 0)
+      dvars
+  in
+  let consistent fargs =
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        Array.iteri
+          (fun j w ->
+            if j > i && Elem.equal v w && not (Elem.equal fargs.(i) fargs.(j))
+            then ok := false)
+          args)
+      args;
+    !ok
+  in
+  let rows =
+    List.filter_map
+      (fun f ->
+        let fargs = Fact.args f in
+        if Array.length fargs = Array.length args && consistent fargs then
+          Some (Array.of_list (List.map (fun p -> fargs.(p)) positions))
+        else None)
+      (Db.facts_of_rel (Fact.rel atom) db)
+  in
+  { cols = dvars; rows }
+
+let project keep rel =
+  let positions = List.filter_map (fun v -> col_index rel.cols v) keep in
+  let kept_cols =
+    List.filter (fun v -> col_index rel.cols v <> None) keep
+  in
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter_map
+      (fun row ->
+        let r = Array.of_list (List.map (fun p -> row.(p)) positions) in
+        let key = Array.to_list r in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some r
+        end)
+      rel.rows
+  in
+  { cols = kept_cols; rows }
+
+let natural_join a b =
+  let shared =
+    List.filter (fun v -> col_index b.cols v <> None) a.cols
+  in
+  let a_pos = List.filter_map (fun v -> col_index a.cols v) shared in
+  let b_pos = List.filter_map (fun v -> col_index b.cols v) shared in
+  let b_extra_cols =
+    List.filter (fun v -> col_index a.cols v = None) b.cols
+  in
+  let b_extra_pos = List.filter_map (fun v -> col_index b.cols v) b_extra_cols in
+  let index = Hashtbl.create (List.length b.rows) in
+  List.iter
+    (fun row ->
+      let key = List.map (fun p -> row.(p)) b_pos in
+      let existing =
+        match Hashtbl.find_opt index key with Some l -> l | None -> []
+      in
+      Hashtbl.replace index key (row :: existing))
+    b.rows;
+  let rows =
+    List.concat_map
+      (fun arow ->
+        let key = List.map (fun p -> arow.(p)) a_pos in
+        match Hashtbl.find_opt index key with
+        | None -> []
+        | Some brows ->
+            List.map
+              (fun brow ->
+                Array.append arow
+                  (Array.of_list (List.map (fun p -> brow.(p)) b_extra_pos)))
+              brows)
+      a.rows
+  in
+  { cols = a.cols @ b_extra_cols; rows }
+
+let semijoin a b =
+  let shared = List.filter (fun v -> col_index b.cols v <> None) a.cols in
+  let a_pos = List.filter_map (fun v -> col_index a.cols v) shared in
+  let b_pos = List.filter_map (fun v -> col_index b.cols v) shared in
+  let keys = Hashtbl.create (List.length b.rows) in
+  List.iter
+    (fun row -> Hashtbl.replace keys (List.map (fun p -> row.(p)) b_pos) ())
+    b.rows;
+  {
+    a with
+    rows =
+      List.filter
+        (fun row -> Hashtbl.mem keys (List.map (fun p -> row.(p)) a_pos))
+        a.rows;
+  }
+
+let eval_with_decomp q db forest =
+  let free = Cq.free q in
+  let ex = Cq.existential_vars q in
+  let entities = Db.entities db in
+  let entity_rel = { cols = [ free ]; rows = List.map (fun e -> [| e |]) entities } in
+  (* Atoms whose existential variables are nonempty get assigned to a
+     node whose bag contains them; the rest constrain x alone. *)
+  let rec nodes d = d :: List.concat_map nodes d.Cq_decomp.children in
+  let all_nodes = List.concat_map nodes forest in
+  let assigned = Hashtbl.create 16 in
+  (* node (physical identity via bag+cover position in list) -> atoms *)
+  let node_id = List.mapi (fun i d -> (i, d)) all_nodes in
+  let x_only = ref [] in
+  List.iter
+    (fun atom ->
+      let evars = Elem.Set.inter (Fact.elems atom) ex in
+      if Elem.Set.is_empty evars then x_only := atom :: !x_only
+      else begin
+        match
+          List.find_opt
+            (fun (_, d) -> Elem.Set.subset evars d.Cq_decomp.bag)
+            node_id
+        with
+        | Some (i, _) ->
+            let existing =
+              match Hashtbl.find_opt assigned i with Some l -> l | None -> []
+            in
+            Hashtbl.replace assigned i (atom :: existing)
+        | None ->
+            invalid_arg
+              "Ghw_eval: decomposition does not cover all atoms"
+      end)
+    (Cq.atoms q);
+  (* Materialize each node: join of cover atoms and assigned atoms,
+     extended with the x column, projected to bag ∪ {x}. *)
+  let node_rel i (d : Cq_decomp.decomp) =
+    let atom_rels =
+      List.map (atom_relation db)
+        (d.Cq_decomp.cover
+        @ (match Hashtbl.find_opt assigned i with Some l -> l | None -> []))
+    in
+    (* Join the atom relations first — starting from the entity list
+       would cross-product x with unrelated columns; x is attached at
+       the end (as a join when some atom mentions it, as a product
+       otherwise). *)
+    let joined =
+      match atom_rels with
+      | [] -> entity_rel
+      | first :: rest ->
+          (* When x is already a column this join just filters it down
+             to the entities; otherwise it is the (unavoidable)
+             product with the entity list. *)
+          natural_join (List.fold_left natural_join first rest) entity_rel
+    in
+    project (free :: Elem.Set.elements d.Cq_decomp.bag) joined
+  in
+  (* Bottom-up reduction per tree; returns the root relation. *)
+  let counter = ref (-1) in
+  let rec reduce d =
+    incr counter;
+    let i = !counter in
+    let mine = node_rel i d in
+    List.fold_left
+      (fun acc child -> semijoin acc (reduce child))
+      mine d.Cq_decomp.children
+  in
+  (* The traversal order of [nodes]/[node_id] is preorder (node before
+     its children), matching the counter in [reduce]. *)
+  let root_x_sets =
+    List.map
+      (fun root ->
+        let r = reduce root in
+        let xr = project [ free ] r in
+        Elem.Set.of_list (List.map (fun row -> row.(0)) xr.rows))
+      forest
+  in
+  let x_only_sets =
+    List.map
+      (fun atom ->
+        let r = natural_join entity_rel (atom_relation db atom) in
+        let xr = project [ free ] r in
+        Elem.Set.of_list (List.map (fun row -> row.(0)) xr.rows))
+      !x_only
+  in
+  let all_entities = Elem.Set.of_list entities in
+  let answer =
+    List.fold_left Elem.Set.inter all_entities (root_x_sets @ x_only_sets)
+  in
+  Elem.Set.elements answer
+
+let eval ~k q db =
+  match Cq_decomp.decomposition q ~k with
+  | None -> None
+  | Some forest -> Some (eval_with_decomp q db forest)

@@ -1,0 +1,225 @@
+(* GYO ear removal + Yannakakis full reducer.
+
+   Each atom carries its distinct-variable list; a relation is the list
+   of value rows aligned with that list. The ear-removal order doubles
+   as the bottom-up schedule (ears are removed leaves-first), and its
+   reverse as the top-down schedule. *)
+
+type tree = {
+  atoms : Fact.t array;
+  distinct_vars : Elem.t list array;  (* per atom, in first-occurrence order *)
+  parent : int option array;
+  removal_order : int list;  (* ears first; roots last *)
+  free : Elem.t;
+}
+
+let distinct_vars_of_atom f =
+  let seen = ref Elem.Set.empty in
+  let out = ref [] in
+  Array.iter
+    (fun v ->
+      if not (Elem.Set.mem v !seen) then begin
+        seen := Elem.Set.add v !seen;
+        out := v :: !out
+      end)
+    (Fact.args f);
+  List.rev !out
+
+let build q =
+  let atoms = Array.of_list (Db.facts (Cq.canonical q)) in
+  let n = Array.length atoms in
+  let var_sets = Array.map Fact.elems atoms in
+  let alive = Array.make n true in
+  let parent = Array.make n None in
+  let order = ref [] in
+  let remaining = ref n in
+  let progress = ref true in
+  while !remaining > 1 && !progress do
+    progress := false;
+    (* Find an ear: an alive atom whose shared variables (those
+       occurring in another alive atom) are contained in a single
+       other alive atom, its witness/parent. *)
+    let i = ref 0 in
+    while !i < n && not !progress do
+      if alive.(!i) then begin
+        let shared =
+          Elem.Set.filter
+            (fun v ->
+              let occurs_elsewhere = ref false in
+              for j = 0 to n - 1 do
+                if j <> !i && alive.(j) && Elem.Set.mem v var_sets.(j) then
+                  occurs_elsewhere := true
+              done;
+              !occurs_elsewhere)
+            var_sets.(!i)
+        in
+        let witness = ref None in
+        for j = 0 to n - 1 do
+          if
+            !witness = None && j <> !i && alive.(j)
+            && Elem.Set.subset shared var_sets.(j)
+          then witness := Some j
+        done;
+        match !witness with
+        | Some j ->
+            alive.(!i) <- false;
+            parent.(!i) <- Some j;
+            order := !i :: !order;
+            decr remaining;
+            progress := true
+        | None ->
+            (* An isolated atom (no shared vars at all) is a root of
+               its own component: retire it without a parent. *)
+            if Elem.Set.is_empty shared then begin
+              alive.(!i) <- false;
+              order := !i :: !order;
+              decr remaining;
+              progress := true
+            end
+      end;
+      incr i
+    done
+  done;
+  if !remaining > 1 then None
+  else begin
+    (* The last alive atom (if any) is a root. *)
+    for i = 0 to n - 1 do
+      if alive.(i) then order := i :: !order
+    done;
+    Some
+      {
+        atoms;
+        distinct_vars = Array.map distinct_vars_of_atom atoms;
+        parent;
+        removal_order = List.rev !order;
+        free = Cq.free q;
+      }
+  end
+
+let is_acyclic q = build q <> None
+
+(* --- relations -------------------------------------------------------- *)
+
+(* Rows are value arrays aligned with [distinct_vars]. *)
+let atom_relation db atom dvars =
+  let args = Fact.args atom in
+  let positions =
+    (* for each distinct var, its first position in args *)
+    List.map
+      (fun v ->
+        let rec find i =
+          if Elem.equal args.(i) v then i else find (i + 1)
+        in
+        find 0)
+      dvars
+  in
+  let consistent fact_args =
+    (* repeated variables must carry equal values *)
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        Array.iteri
+          (fun j w ->
+            if
+              j > i && Elem.equal v w
+              && not (Elem.equal fact_args.(i) fact_args.(j))
+            then ok := false)
+          args)
+      args;
+    !ok
+  in
+  List.filter_map
+    (fun f ->
+      let fargs = Fact.args f in
+      if Array.length fargs = Array.length args && consistent fargs then
+        Some (Array.of_list (List.map (fun p -> fargs.(p)) positions))
+      else None)
+    (Db.facts_of_rel (Fact.rel atom) db)
+
+(* Shared columns between two atoms: positions in each row. *)
+let shared_positions dvars_a dvars_b =
+  List.filteri (fun _ v -> List.exists (Elem.equal v) dvars_b) dvars_a
+  |> List.map (fun v ->
+         let idx vars =
+           let rec go i = function
+             | [] -> assert false
+             | w :: rest -> if Elem.equal v w then i else go (i + 1) rest
+           in
+           go 0 vars
+         in
+         (idx dvars_a, idx dvars_b))
+
+let project row positions = List.map (fun p -> row.(p)) positions
+
+(* a ⋉ b on the shared columns. *)
+let semijoin (rel_a, dv_a) (rel_b, dv_b) =
+  let pos = shared_positions dv_a dv_b in
+  if pos = [] then if rel_b = [] then [] else rel_a
+  else begin
+    let pa = List.map fst pos and pb = List.map snd pos in
+    let keys = Hashtbl.create (List.length rel_b) in
+    List.iter (fun row -> Hashtbl.replace keys (project row pb) ()) rel_b;
+    List.filter (fun row -> Hashtbl.mem keys (project row pa)) rel_a
+  end
+
+let eval q db =
+  match build q with
+  | None -> invalid_arg "Join_tree.eval: query is not alpha-acyclic"
+  | Some t ->
+      let n = Array.length t.atoms in
+      let rels =
+        Array.init n (fun i -> atom_relation db t.atoms.(i) t.distinct_vars.(i))
+      in
+      (* Bottom-up: when an ear is retired, semijoin its parent. *)
+      List.iter
+        (fun i ->
+          match t.parent.(i) with
+          | Some p ->
+              rels.(p) <-
+                semijoin
+                  (rels.(p), t.distinct_vars.(p))
+                  (rels.(i), t.distinct_vars.(i))
+          | None -> ())
+        t.removal_order;
+      (* Global satisfiability: every root must be nonempty (roots
+         absorb their whole component's constraints after the
+         bottom-up pass). *)
+      let roots_ok =
+        List.for_all
+          (fun i -> t.parent.(i) <> None || rels.(i) <> [])
+          t.removal_order
+      in
+      if not roots_ok then []
+      else begin
+        (* Top-down: children filtered by their parent, in reverse
+           removal order, making every relation globally consistent. *)
+        List.iter
+          (fun i ->
+            match t.parent.(i) with
+            | Some p ->
+                rels.(i) <-
+                  semijoin
+                    (rels.(i), t.distinct_vars.(i))
+                    (rels.(p), t.distinct_vars.(p))
+            | None -> ())
+          (List.rev t.removal_order);
+        (* Read the answers off the eta(x) atom. *)
+        let eta_idx =
+          let rec find i =
+            if Fact.rel t.atoms.(i) = Db.entity_rel
+               && Elem.equal (Fact.args t.atoms.(i)).(0) t.free
+            then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let xpos =
+          let rec go i = function
+            | [] -> assert false
+            | v :: rest -> if Elem.equal v t.free then i else go (i + 1) rest
+          in
+          go 0 t.distinct_vars.(eta_idx)
+        in
+        List.sort_uniq Elem.compare
+          (List.map (fun row -> row.(xpos)) rels.(eta_idx))
+      end

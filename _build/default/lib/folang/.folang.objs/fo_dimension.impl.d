@@ -1,0 +1,1 @@
+lib/folang/fo_dimension.ml: Cq Db Elem List

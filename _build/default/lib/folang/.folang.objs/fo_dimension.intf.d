@@ -1,0 +1,1 @@
+lib/folang/fo_dimension.mli: Cq Db Elem

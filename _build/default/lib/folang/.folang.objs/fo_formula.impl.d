@@ -1,0 +1,1 @@
+lib/folang/fo_formula.ml: Cq Db Elem Fact Format List

@@ -1,0 +1,1 @@
+lib/folang/fo_formula.mli: Cq Db Elem Fact Format

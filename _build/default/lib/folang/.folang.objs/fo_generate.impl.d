@@ -1,0 +1,1 @@
+lib/folang/fo_generate.ml: Cq Db Elem Fact Fo_formula Fo_sep Labeling List Struct_iso

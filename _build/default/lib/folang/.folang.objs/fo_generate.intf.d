@@ -1,0 +1,1 @@
+lib/folang/fo_generate.mli: Db Elem Fo_formula Labeling

@@ -1,0 +1,1 @@
+lib/folang/fo_sep.ml: Db Hom Labeling List Struct_iso

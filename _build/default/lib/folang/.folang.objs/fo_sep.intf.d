@@ -1,0 +1,1 @@
+lib/folang/fo_sep.mli: Db Elem Labeling

@@ -1,0 +1,1 @@
+lib/folang/pebble_game.ml: Array Db Elem Fact Hashtbl Labeling List

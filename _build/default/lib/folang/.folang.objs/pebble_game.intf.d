@@ -1,0 +1,1 @@
+lib/folang/pebble_game.mli: Db Elem Labeling

@@ -1,0 +1,1 @@
+lib/folang/struct_iso.ml: Array Db Elem Fact Hashtbl List

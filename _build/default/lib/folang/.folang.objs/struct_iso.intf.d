@@ -1,0 +1,1 @@
+lib/folang/struct_iso.mli: Db Elem

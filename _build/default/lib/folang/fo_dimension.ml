@@ -1,0 +1,45 @@
+let dedupe sets =
+  List.fold_left
+    (fun acc s -> if List.exists (Elem.Set.equal s) acc then acc else s :: acc)
+    [] sets
+  |> List.rev
+
+let indicator_family ~queries ~db =
+  dedupe (List.map (fun q -> Elem.Set.of_list (Cq.eval q db)) queries)
+
+let closure_family ~queries ~db =
+  let eta = Elem.Set.of_list (Db.entities db) in
+  let base = indicator_family ~queries ~db in
+  dedupe (base @ List.map (fun s -> Elem.Set.diff eta s) base)
+
+let collapse_counterexample ~queries ~db =
+  let family = closure_family ~queries ~db in
+  let mem s = List.exists (Elem.Set.equal s) family in
+  let rec scan = function
+    | [] -> None
+    | a :: rest -> begin
+        match
+          List.find_opt (fun b -> not (mem (Elem.Set.inter a b))) rest
+        with
+        | Some b -> Some (a, b)
+        | None -> scan rest
+      end
+  in
+  scan family
+
+let family_is_linear ~queries ~db =
+  let family = indicator_family ~queries ~db in
+  let rec linear = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all
+          (fun b -> Elem.Set.subset a b || Elem.Set.subset b a)
+          rest
+        && linear rest
+  in
+  linear family
+
+let chain_length ~queries ~db =
+  if not (family_is_linear ~queries ~db) then
+    invalid_arg "Fo_dimension.chain_length: family is not linear";
+  List.length (indicator_family ~queries ~db)

@@ -1,0 +1,40 @@
+(** The dimension-collapse and unbounded-dimension properties
+    (Section 8.2 of the paper), checked on finite query fragments.
+
+    Theorem 8.4: a language [L] has the dimension-collapse property iff
+    for every database [D] the family
+    [⋃_{q∈L} {q(D), η(D)∖q(D)}] is closed under intersection.
+    Proposition 8.6: if for each [n] there is a database on which
+    [{q(D) | q ∈ L}] is a chain of length [≥ n], then [L] has the
+    unbounded-dimension property.
+
+    These are properties of infinite languages; this module evaluates
+    the defining conditions on finite sub-fragments (e.g. the CQ[m]
+    enumeration) and concrete databases — enough to produce the
+    counterexample witnesses the paper's proofs rely on, and to drive
+    the `dim/unbounded` bench. *)
+
+(** [indicator_family ~queries ~db] is the list of distinct entity sets
+    [q(D)] for [q ∈ queries]. *)
+val indicator_family : queries:Cq.t list -> db:Db.t -> Elem.Set.t list
+
+(** [closure_family ~queries ~db] additionally includes the complements
+    [η(D) ∖ q(D)] (the family of Theorem 8.4). *)
+val closure_family : queries:Cq.t list -> db:Db.t -> Elem.Set.t list
+
+(** [collapse_counterexample ~queries ~db] searches the closure family
+    for two sets whose intersection is not in the family — a witness
+    that the fragment (hence any language containing it whose
+    indicator family on [db] is no larger) violates the Theorem 8.4
+    condition. *)
+val collapse_counterexample :
+  queries:Cq.t list -> db:Db.t -> (Elem.Set.t * Elem.Set.t) option
+
+(** [family_is_linear ~queries ~db] checks the Prop 8.6 premise: the
+    indicator family is a chain under inclusion. *)
+val family_is_linear : queries:Cq.t list -> db:Db.t -> bool
+
+(** [chain_length ~queries ~db] is the number of distinct indicator
+    sets when the family is linear.
+    @raise Invalid_argument when the family is not linear. *)
+val chain_length : queries:Cq.t list -> db:Db.t -> int

@@ -1,0 +1,96 @@
+type t =
+  | Atom of Fact.t
+  | Eq of Elem.t * Elem.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of Elem.t * t
+  | Forall of Elem.t * t
+
+let tt = And []
+let ff = Or []
+
+let of_cq q =
+  let body = And (List.map (fun a -> Atom a) (Db.facts (Cq.canonical q))) in
+  Elem.Set.fold
+    (fun v acc -> Exists (v, acc))
+    (Cq.existential_vars q)
+    body
+
+let rec free_vars = function
+  | Atom f -> Fact.elems f
+  | Eq (a, b) -> Elem.Set.add a (Elem.Set.singleton b)
+  | Not f -> free_vars f
+  | And fs | Or fs ->
+      List.fold_left
+        (fun acc f -> Elem.Set.union acc (free_vars f))
+        Elem.Set.empty fs
+  | Exists (v, f) | Forall (v, f) -> Elem.Set.remove v (free_vars f)
+
+let rec variables = function
+  | Atom f -> Fact.elems f
+  | Eq (a, b) -> Elem.Set.add a (Elem.Set.singleton b)
+  | Not f -> variables f
+  | And fs | Or fs ->
+      List.fold_left
+        (fun acc f -> Elem.Set.union acc (variables f))
+        Elem.Set.empty fs
+  | Exists (v, f) | Forall (v, f) -> Elem.Set.add v (variables f)
+
+let rec eval db ~env f =
+  match f with
+  | Atom fact ->
+      let resolve a =
+        match Elem.Map.find_opt a env with Some v -> v | None -> a
+      in
+      Db.mem (Fact.map_elems resolve fact) db
+  | Eq (a, b) ->
+      let resolve x =
+        match Elem.Map.find_opt x env with Some v -> v | None -> x
+      in
+      Elem.equal (resolve a) (resolve b)
+  | Not f -> not (eval db ~env f)
+  | And fs -> List.for_all (fun f -> eval db ~env f) fs
+  | Or fs -> List.exists (fun f -> eval db ~env f) fs
+  | Exists (v, f) ->
+      Elem.Set.exists
+        (fun d -> eval db ~env:(Elem.Map.add v d env) f)
+        (Db.domain db)
+  | Forall (v, f) ->
+      Elem.Set.for_all
+        (fun d -> eval db ~env:(Elem.Map.add v d env) f)
+        (Db.domain db)
+
+let selects db ~free f e = eval db ~env:(Elem.Map.singleton free e) f
+
+let eval_unary db ~free f =
+  List.filter (fun e -> selects db ~free f e) (Db.entities db)
+
+let rec size = function
+  | Atom _ | Eq _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+let rec pp fmt = function
+  | Atom f -> Fact.pp fmt f
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" Elem.pp a Elem.pp b
+  | Not f -> Format.fprintf fmt "¬(%a)" pp f
+  | And [] -> Format.pp_print_string fmt "true"
+  | And fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ∧ ")
+           pp)
+        fs
+  | Or [] -> Format.pp_print_string fmt "false"
+  | Or fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ∨ ")
+           pp)
+        fs
+  | Exists (v, f) -> Format.fprintf fmt "∃%a.%a" Elem.pp v pp f
+  | Forall (v, f) -> Format.fprintf fmt "∀%a.%a" Elem.pp v pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,55 @@
+(** First-order feature formulas: syntax and model checking.
+
+    Section 8 of the paper studies FO feature queries abstractly; this
+    module makes them concrete — an FO AST over the same relational
+    vocabulary as the CQs, with a straightforward recursive model
+    checker (combined complexity PSPACE, as it must be). Variables are
+    {!Elem.t} values, like in {!Cq}.
+
+    The companion {!Fo_generate} builds actual separating FO features
+    (Prop 8.1 made constructive). *)
+
+type t =
+  | Atom of Fact.t  (** [R(t̄)] — arguments are variables or constants *)
+  | Eq of Elem.t * Elem.t
+  | Not of t
+  | And of t list  (** [And []] is true *)
+  | Or of t list  (** [Or []] is false *)
+  | Exists of Elem.t * t
+  | Forall of Elem.t * t
+
+val tt : t
+val ff : t
+
+(** [of_cq q] is the FO formula of a feature CQ: the existential
+    closure of its atom conjunction with the free variable left
+    free. *)
+val of_cq : Cq.t -> t
+
+(** [free_vars f] is the set of free variables. *)
+val free_vars : t -> Elem.Set.t
+
+(** [variables f] is the set of all variable names occurring — bound or
+    free ([Elem] terms appearing in atoms or quantifiers). Together
+    with quantifier reuse this determines FO_k membership
+    syntactically. *)
+val variables : t -> Elem.Set.t
+
+(** [eval db ~env f] model-checks [f] over [db] under the environment
+    [env] (quantifiers range over the active domain; unbound atom
+    arguments are treated as constants).
+    Exponential in the quantifier nesting, polynomial per level. *)
+val eval : Db.t -> env:Elem.t Elem.Map.t -> t -> bool
+
+(** [selects db ~free f e] is [eval] with [free ↦ e]. *)
+val selects : Db.t -> free:Elem.t -> t -> Elem.t -> bool
+
+(** [eval_unary db ~free f] is the set of entities selected by the
+    unary feature formula [f]. *)
+val eval_unary : Db.t -> free:Elem.t -> t -> Elem.t list
+
+(** [size f] is the node count (for reporting). *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,63 @@
+let opposite_pairs (t : Labeling.training) =
+  let pos = Labeling.positives t.labeling in
+  let neg = Labeling.negatives t.labeling in
+  List.concat_map (fun e -> List.map (fun e' -> (e, e')) neg) pos
+
+let fo_inseparable_witness (t : Labeling.training) =
+  List.find_opt
+    (fun (e, e') ->
+      Struct_iso.isomorphic_pointed (t.db, [ e ]) (t.db, [ e' ]))
+    (opposite_pairs t)
+
+let fo_separable t = fo_inseparable_witness t = None
+
+let epfo_separable (t : Labeling.training) =
+  not
+    (List.exists
+       (fun (e, e') -> Hom.equiv_pointed t.db e t.db e')
+       (opposite_pairs t))
+
+let group_by_iso db entities =
+  List.fold_left
+    (fun classes e ->
+      let rec place = function
+        | [] -> [ [ e ] ]
+        | (rep :: _ as cls) :: rest ->
+            if Struct_iso.isomorphic_pointed (db, [ e ]) (db, [ rep ]) then
+              (e :: cls) :: rest
+            else cls :: place rest
+        | [] :: _ -> assert false
+      in
+      place classes)
+    [] entities
+
+let iso_classes (t : Labeling.training) =
+  group_by_iso t.db (Db.entities t.db)
+
+let fo_classify (t : Labeling.training) eval_db =
+  if not (fo_separable t) then
+    invalid_arg "Fo_sep.fo_classify: training database is not FO-separable";
+  let train_reps =
+    List.map
+      (fun cls ->
+        match cls with
+        | rep :: _ -> (rep, Labeling.get rep t.labeling)
+        | [] -> assert false)
+      (iso_classes t)
+  in
+  List.fold_left
+    (fun acc f ->
+      let label =
+        match
+          List.find_opt
+            (fun (rep, _) ->
+              (* FO-equivalence across databases on finite structures
+                 is isomorphism of the pointed databases. *)
+              Struct_iso.isomorphic_pointed (t.db, [ rep ]) (eval_db, [ f ]))
+            train_reps
+        with
+        | Some (_, l) -> l
+        | None -> Labeling.Neg
+      in
+      Labeling.set f label acc)
+    Labeling.empty (Db.entities eval_db)

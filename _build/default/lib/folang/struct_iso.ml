@@ -1,0 +1,196 @@
+(* Color refinement + backtracking isomorphism search. An isomorphism
+   between databases is a bijection h on domains with
+   h(facts a) = facts b exactly; since h is injective, it suffices that
+   h is a homomorphism, bijective on domains, and the per-relation fact
+   counts agree. *)
+
+let refine_colors db =
+  let elems = Elem.Set.elements (Db.domain db) in
+  (* Initial color: multiset of (relation, position) incidences. *)
+  let initial e =
+    let occ =
+      List.concat_map
+        (fun f ->
+          let args = Fact.args f in
+          List.filter_map
+            (fun i ->
+              if Elem.equal args.(i) e then Some (Fact.rel f, i) else None)
+            (List.init (Array.length args) (fun i -> i)))
+        (Db.facts_with_elem e db)
+    in
+    List.sort compare occ
+  in
+  let color = Hashtbl.create 64 in
+  let intern = Hashtbl.create 64 in
+  let next = ref 0 in
+  let intern_key key =
+    match Hashtbl.find_opt intern key with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace intern key id;
+        id
+  in
+  List.iter
+    (fun e -> Hashtbl.replace color e (intern_key (Hashtbl.hash (initial e))))
+    elems;
+  let classes () =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let c = Hashtbl.find color e in
+        Hashtbl.replace tbl c ())
+      elems;
+    Hashtbl.length tbl
+  in
+  let rec stabilize n_classes =
+    (* New color: current color + sorted multiset of fact signatures,
+       where a fact signature is the relation, the positions of e, and
+       the colors of all arguments. *)
+    let signature e =
+      let sigs =
+        List.map
+          (fun f ->
+            let args = Fact.args f in
+            ( Fact.rel f,
+              Array.to_list
+                (Array.map (fun a -> Hashtbl.find color a) args),
+              List.filter_map
+                (fun i ->
+                  if Elem.equal args.(i) e then Some i else None)
+                (List.init (Array.length args) (fun i -> i)) ))
+          (Db.facts_with_elem e db)
+      in
+      (Hashtbl.find color e, List.sort compare sigs)
+    in
+    let updates =
+      List.map (fun e -> (e, intern_key (Hashtbl.hash (signature e)))) elems
+    in
+    List.iter (fun (e, c) -> Hashtbl.replace color e c) updates;
+    let n' = classes () in
+    if n' > n_classes then stabilize n' else ()
+  in
+  stabilize (classes ());
+  List.fold_left
+    (fun acc e -> Elem.Map.add e (Hashtbl.find color e) acc)
+    Elem.Map.empty elems
+
+let counts_agree a b =
+  let tally db =
+    List.sort compare
+      (List.map (fun (rel, ar) -> (rel, ar, List.length (Db.facts_of_rel rel db)))
+         (Db.relations db))
+  in
+  tally a = tally b
+
+let find_isomorphism ?(fix = []) a b =
+  if Db.domain_size a <> Db.domain_size b || not (counts_agree a b) then None
+  else begin
+    let ca = refine_colors a and cb = refine_colors b in
+    (* Color class sizes must agree (colors are interned per database;
+       compare class-size multisets via canonical color keys is subtle,
+       so rely on the backtracking below and use colors only as a local
+       pruning heuristic: candidates must have locally-equal initial
+       incidence structure. We recompute a portable color: the multiset
+       of (rel, positions) — already encoded in refinement round 0 —
+       cannot be compared across databases through interned ids, so use
+       class sizes instead.) *)
+    let class_sizes colors =
+      let tbl = Hashtbl.create 16 in
+      Elem.Map.iter
+        (fun _ c ->
+          let n = match Hashtbl.find_opt tbl c with Some n -> n | None -> 0 in
+          Hashtbl.replace tbl c (n + 1))
+        colors;
+      List.sort compare (Hashtbl.fold (fun _ n acc -> n :: acc) tbl [])
+    in
+    if class_sizes ca <> class_sizes cb then None
+    else begin
+      let elems_a = Elem.Set.elements (Db.domain a) in
+      let dom_b = Elem.Set.elements (Db.domain b) in
+      (* Backtracking: assign each element of a an unused element of b;
+         facts of a fully assigned must be facts of b. Together with
+         equal fact counts this yields an isomorphism. *)
+      let exception Found of Elem.t Elem.Map.t in
+      let rec go todo asg used =
+        match todo with
+        | [] -> raise (Found asg)
+        | e :: rest ->
+            let try_candidate v =
+              if not (Elem.Set.mem v used) then begin
+                let asg' = Elem.Map.add e v asg in
+                let ok =
+                  List.for_all
+                    (fun f ->
+                      let args = Fact.args f in
+                      let all = Array.for_all (fun x -> Elem.Map.mem x asg') args in
+                      (not all)
+                      || Db.mem
+                           (Fact.make (Fact.rel f)
+                              (Array.map (fun x -> Elem.Map.find x asg') args))
+                           b)
+                    (Db.facts_with_elem e a)
+                in
+                if ok then go rest asg' (Elem.Set.add v used)
+              end
+            in
+            List.iter
+              (fun v ->
+                match Elem.Map.find_opt e asg with
+                | Some w -> if Elem.equal w v then try_candidate v
+                | None -> try_candidate v)
+              dom_b
+      in
+      (* Seed with the fixed pairs. *)
+      let seed_ok, asg0, used0 =
+        List.fold_left
+          (fun (ok, asg, used) (x, y) ->
+            if not ok then (false, asg, used)
+            else begin
+              match Elem.Map.find_opt x asg with
+              | Some y' when not (Elem.equal y y') -> (false, asg, used)
+              | Some _ -> (ok, asg, used)
+              | None ->
+                  if Elem.Set.mem y used then (false, asg, used)
+                  else (ok, Elem.Map.add x y asg, Elem.Set.add y used)
+            end)
+          (true, Elem.Map.empty, Elem.Set.empty)
+          (List.filter (fun (x, _) -> Elem.Set.mem x (Db.domain a)) fix)
+      in
+      (* Facts lying entirely inside the seeded elements must already
+         map correctly — [go] only re-checks facts touched by a newly
+         assigned element. *)
+      let seed_facts_ok =
+        Elem.Map.for_all
+          (fun x _ ->
+            List.for_all
+              (fun f ->
+                let args = Fact.args f in
+                let all = Array.for_all (fun y -> Elem.Map.mem y asg0) args in
+                (not all)
+                || Db.mem
+                     (Fact.make (Fact.rel f)
+                        (Array.map (fun y -> Elem.Map.find y asg0) args))
+                     b)
+              (Db.facts_with_elem x a))
+          asg0
+      in
+      if not (seed_ok && seed_facts_ok) then None
+      else begin
+        let todo =
+          List.filter (fun e -> not (Elem.Map.mem e asg0)) elems_a
+        in
+        match go todo asg0 used0 with
+        | () -> None
+        | exception Found m -> Some m
+      end
+    end
+  end
+
+let isomorphic a b = find_isomorphism a b <> None
+
+let isomorphic_pointed (a, ta) (b, tb) =
+  if List.length ta <> List.length tb then
+    invalid_arg "Struct_iso.isomorphic_pointed: tuples of different lengths";
+  find_isomorphism ~fix:(List.combine ta tb) a b <> None

@@ -1,0 +1,26 @@
+(** Isomorphism of (pointed) databases.
+
+    FO feature queries distinguish two pointed finite databases iff the
+    databases are non-isomorphic, so FO-Sep reduces to pairwise
+    isomorphism tests on entities (Corollary 8.2; the problem is
+    GI-complete). The test here is color refinement (1-WL) for pruning
+    plus a backtracking search for an exact bijective strong
+    homomorphism. *)
+
+(** [refine_colors db] computes stable color classes of the elements
+    under 1-dimensional Weisfeiler–Leman refinement; elements in
+    different classes are in different orbits. Returned as a map from
+    element to an opaque color id (equal ids = same refined color). *)
+val refine_colors : Db.t -> int Elem.Map.t
+
+(** [isomorphic a b] decides [a ≅ b]. *)
+val isomorphic : Db.t -> Db.t -> bool
+
+(** [isomorphic_pointed (a, ā) (b, b̄)] decides isomorphism mapping the
+    i-th element of [ā] to the i-th of [b̄].
+    @raise Invalid_argument if the tuples have different lengths. *)
+val isomorphic_pointed : Db.t * Elem.t list -> Db.t * Elem.t list -> bool
+
+(** [find_isomorphism ?fix a b] returns a witnessing bijection. *)
+val find_isomorphism :
+  ?fix:(Elem.t * Elem.t) list -> Db.t -> Db.t -> Elem.t Elem.Map.t option

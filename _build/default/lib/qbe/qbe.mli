@@ -1,0 +1,63 @@
+(** Query by example (Section 6.1 of the paper).
+
+    An instance is a database with disjoint sets of positive and
+    negative example entities; an [L]-explanation is a unary query
+    [q ∈ L] with [S⁺ ⊆ q(D)] and [q(D) ∩ S⁻ = ∅]. Deciding existence:
+
+    - [CQ]: there is an explanation iff the canonical CQ of the direct
+      product [P = Π_{a ∈ S⁺} (D, a)] selects no negative example,
+      i.e. [(P, p̄) ↛ (D, b)] for every [b ∈ S⁻] (ten Cate–Dalmau).
+      The product is exponential in [|S⁺|] — the source of the
+      coNEXPTIME-completeness in Theorem 6.1.
+    - [GHW(k)]: same criterion with [→_k] in place of [→]
+      (Barceló–Romero); EXPTIME-complete.
+    - [CQ[m]] (and [CQ[m,p]]): enumerate the finitely many candidate
+      queries (NP-complete by Prop 6.11; the certificate is the query).
+
+    This module works over entity schemas: examples must be entities,
+    and explanations are feature queries (with the implicit [eta(x)]
+    atom, which never changes the answer since examples are
+    entities). *)
+
+type instance = { db : Db.t; pos : Elem.t list; neg : Elem.t list }
+
+(** [make db ~pos ~neg] validates and builds an instance.
+    @raise Invalid_argument if [pos] is empty, some example is not an
+    entity of [db], or the example sets intersect. *)
+val make : Db.t -> pos:Elem.t list -> neg:Elem.t list -> instance
+
+(** [product_of_positives inst] is the pointed direct product
+    [Π_{a ∈ S⁺} (D, a)] — exponential in [|S⁺|]. *)
+val product_of_positives : instance -> Db.t * Elem.t
+
+(** [cq_decide inst] decides CQ-QBE. *)
+val cq_decide : instance -> bool
+
+(** [cq_explanation ?minimize inst] returns an explanation when one
+    exists: the canonical feature query of the positive product
+    (core-reduced when [minimize] is [true]; the core computation is
+    itself expensive on the exponential product). *)
+val cq_explanation : ?minimize:bool -> instance -> Cq.t option
+
+(** [ghw_decide ~k inst] decides GHW(k)-QBE via the cover game on the
+    positive product. *)
+val ghw_decide : k:int -> instance -> bool
+
+(** [ghw_explanation ~k ~depth inst] materializes a GHW(k)
+    explanation as the depth-[depth] k-cover unraveling of the positive
+    product when GHW(k)-QBE holds. At sufficient depth the unraveling
+    is an exact explanation (verify with {!is_explanation}); its size
+    is exponential in [depth] — the EXPTIME generation cost the paper
+    predicts. *)
+val ghw_explanation : k:int -> depth:int -> instance -> Cq.t option
+
+(** [cqm_decide ~m ?max_var_occ inst] decides CQ[m]-QBE (resp.
+    CQ[m,p]-QBE) by candidate enumeration over the schema of [db]. *)
+val cqm_decide : m:int -> ?max_var_occ:int -> instance -> bool
+
+(** [cqm_explanation ~m ?max_var_occ inst] returns some CQ[m]
+    explanation if one exists. *)
+val cqm_explanation : m:int -> ?max_var_occ:int -> instance -> Cq.t option
+
+(** [is_explanation inst q] checks the defining conditions directly. *)
+val is_explanation : instance -> Cq.t -> bool

@@ -1,0 +1,1 @@
+lib/relational/db.ml: Array Elem Fact Format List Map String

@@ -1,0 +1,1 @@
+lib/relational/elem.ml: Format Hashtbl List Map Set Stdlib String

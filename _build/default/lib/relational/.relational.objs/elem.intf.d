@@ -1,0 +1,1 @@
+lib/relational/elem.mli: Format Map Set

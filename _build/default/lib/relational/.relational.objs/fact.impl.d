@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Array Elem Format Map Set Stdlib String

@@ -1,0 +1,1 @@
+lib/relational/hom.ml: Array Db Elem Fact List Queue

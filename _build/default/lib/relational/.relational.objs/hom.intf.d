@@ -1,0 +1,1 @@
+lib/relational/hom.mli: Db Elem

@@ -1,0 +1,1 @@
+lib/relational/labeling.ml: Db Elem Format List Printf

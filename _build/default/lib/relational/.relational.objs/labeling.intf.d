@@ -1,0 +1,1 @@
+lib/relational/labeling.mli: Db Elem Format

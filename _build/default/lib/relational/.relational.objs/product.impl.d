@@ -1,0 +1,1 @@
+lib/relational/product.ml: Array Db Elem Fact List

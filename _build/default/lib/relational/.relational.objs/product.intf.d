@@ -1,0 +1,1 @@
+lib/relational/product.mli: Db Elem

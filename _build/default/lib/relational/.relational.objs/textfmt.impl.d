@@ -1,0 +1,1 @@
+lib/relational/textfmt.ml: Buffer Db Elem Fact Labeling List Printf String

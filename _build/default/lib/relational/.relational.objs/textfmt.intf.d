@@ -1,0 +1,1 @@
+lib/relational/textfmt.mli: Db Labeling

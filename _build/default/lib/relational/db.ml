@@ -1,0 +1,96 @@
+module Str_map = Map.Make (String)
+
+type t = {
+  facts : Fact.Set.t;
+  by_rel : Fact.t list Str_map.t;
+  by_elem : Fact.t list Elem.Map.t;
+  dom : Elem.Set.t;
+}
+
+let entity_rel = "eta"
+
+let empty =
+  {
+    facts = Fact.Set.empty;
+    by_rel = Str_map.empty;
+    by_elem = Elem.Map.empty;
+    dom = Elem.Set.empty;
+  }
+
+let cons_multi key v map find add =
+  let existing = match find key map with Some l -> l | None -> [] in
+  add key (v :: existing) map
+
+let add fact db =
+  if Fact.Set.mem fact db.facts then db
+  else begin
+    let by_rel =
+      cons_multi (Fact.rel fact) fact db.by_rel Str_map.find_opt Str_map.add
+    in
+    let elems = Fact.elems fact in
+    let by_elem =
+      Elem.Set.fold
+        (fun e acc ->
+          cons_multi e fact acc Elem.Map.find_opt Elem.Map.add)
+        elems db.by_elem
+    in
+    {
+      facts = Fact.Set.add fact db.facts;
+      by_rel;
+      by_elem;
+      dom = Elem.Set.union elems db.dom;
+    }
+  end
+
+let of_facts facts = List.fold_left (fun db f -> add f db) empty facts
+
+let of_list specs =
+  of_facts (List.map (fun (rel, args) -> Fact.make_l rel args) specs)
+
+let facts db = Fact.Set.elements db.facts
+let fact_set db = db.facts
+let size db = Fact.Set.cardinal db.facts
+let mem fact db = Fact.Set.mem fact db.facts
+let domain db = db.dom
+let domain_size db = Elem.Set.cardinal db.dom
+
+let relations db =
+  Str_map.fold
+    (fun rel facts acc ->
+      match facts with
+      | [] -> acc
+      | f :: _ -> (rel, Fact.arity f) :: acc)
+    db.by_rel []
+
+let facts_of_rel rel db =
+  match Str_map.find_opt rel db.by_rel with Some l -> l | None -> []
+
+let facts_with_elem e db =
+  match Elem.Map.find_opt e db.by_elem with Some l -> l | None -> []
+
+let max_arity db =
+  List.fold_left (fun acc (_, ar) -> max acc ar) 0 (relations db)
+
+let entities db =
+  List.map (fun f -> (Fact.args f).(0)) (facts_of_rel entity_rel db)
+
+let add_entity e db = add (Fact.make entity_rel [| e |]) db
+let is_entity e db = mem (Fact.make entity_rel [| e |]) db
+
+let union a b = Fact.Set.fold add b.facts a
+let map_elems g db = of_facts (List.map (Fact.map_elems g) (facts db))
+let filter p db = of_facts (List.filter p (facts db))
+
+let restrict_rels rels db =
+  filter (fun f -> List.mem (Fact.rel f) rels) db
+
+let without_rel rel db = filter (fun f -> Fact.rel f <> rel) db
+let equal a b = Fact.Set.equal a.facts b.facts
+let compare a b = Fact.Set.compare a.facts b.facts
+
+let pp fmt db =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun f -> Format.fprintf fmt "%a@ " Fact.pp f) (facts db);
+  Format.fprintf fmt "@]"
+
+let to_string db = String.concat " " (List.map Fact.to_string (facts db))

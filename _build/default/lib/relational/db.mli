@@ -1,0 +1,83 @@
+(** Databases: finite sets of facts with access-path indexes.
+
+    A database keeps, besides the set of facts, an index from relation
+    name to facts and from element to the facts containing it; the
+    homomorphism search and the cover game rely on both. Databases are
+    immutable (adding a fact returns a new database sharing structure).
+
+    The entity relation η of the paper's entity schemas is represented by
+    the distinguished unary relation name {!entity_rel}. *)
+
+type t
+
+(** Name of the distinguished unary entity relation η ("eta"). *)
+val entity_rel : string
+
+val empty : t
+
+(** [add fact db] is [db] with [fact] added (idempotent). *)
+val add : Fact.t -> t -> t
+
+(** [of_facts facts] builds a database from a list of facts. *)
+val of_facts : Fact.t list -> t
+
+(** [of_list specs] builds a database from [(rel, args)] pairs. *)
+val of_list : (string * Elem.t list) list -> t
+
+val facts : t -> Fact.t list
+val fact_set : t -> Fact.Set.t
+
+(** [size db] is the number of facts. *)
+val size : t -> int
+
+(** [mem fact db] tests membership. *)
+val mem : Fact.t -> t -> bool
+
+(** [domain db] is the active domain: all elements occurring in facts. *)
+val domain : t -> Elem.Set.t
+
+val domain_size : t -> int
+
+(** [relations db] is the list of relation names mentioned, with arities
+    (an arity per name; mixed arities are not checked, last wins). *)
+val relations : t -> (string * int) list
+
+(** [facts_of_rel rel db] is the list of facts over relation [rel]. *)
+val facts_of_rel : string -> t -> Fact.t list
+
+(** [facts_with_elem e db] is the list of facts whose arguments include
+    [e]. *)
+val facts_with_elem : Elem.t -> t -> Fact.t list
+
+(** [max_arity db] is the maximal relation arity mentioned (0 if empty). *)
+val max_arity : t -> int
+
+(** [entities db] is η(D): the elements [e] with a fact [eta(e)]. *)
+val entities : t -> Elem.t list
+
+(** [add_entity e db] adds the fact [eta(e)]. *)
+val add_entity : Elem.t -> t -> t
+
+(** [is_entity e db] tests whether [eta(e)] holds. *)
+val is_entity : Elem.t -> t -> bool
+
+(** [union a b] is the database holding the facts of both. *)
+val union : t -> t -> t
+
+(** [map_elems g db] renames every element via [g]. *)
+val map_elems : (Elem.t -> Elem.t) -> t -> t
+
+(** [filter p db] keeps the facts satisfying [p]. *)
+val filter : (Fact.t -> bool) -> t -> t
+
+(** [restrict_rels rels db] keeps only the facts whose relation is in
+    [rels]. *)
+val restrict_rels : string list -> t -> t
+
+(** [without_rel rel db] drops all facts over [rel]. *)
+val without_rel : string -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,48 @@
+type t = { rel : string; args : Elem.t array }
+
+let make rel args = { rel; args }
+let make_l rel args = { rel; args = Array.of_list args }
+let rel f = f.rel
+let args f = f.args
+let arity f = Array.length f.args
+
+let elems f =
+  Array.fold_left (fun acc e -> Elem.Set.add e acc) Elem.Set.empty f.args
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else begin
+    let la = Array.length a.args and lb = Array.length b.args in
+    if la <> lb then Stdlib.compare la lb
+    else begin
+      let rec go i =
+        if i >= la then 0
+        else begin
+          let c = Elem.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    end
+  end
+
+let equal a b = compare a b = 0
+let map_elems g f = { f with args = Array.map g f.args }
+
+let to_string f =
+  f.rel
+  ^ "("
+  ^ String.concat ", " (Array.to_list (Array.map Elem.to_string f.args))
+  ^ ")"
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,29 @@
+(** Facts: a relation name applied to a tuple of elements. *)
+
+type t = { rel : string; args : Elem.t array }
+
+(** [make rel args] builds a fact. The array is owned by the fact;
+    callers must not mutate it afterwards. *)
+val make : string -> Elem.t array -> t
+
+(** [make_l rel args] is [make] from a list. *)
+val make_l : string -> Elem.t list -> t
+
+val rel : t -> string
+val args : t -> Elem.t array
+val arity : t -> int
+
+(** [elems f] is the set of elements occurring in [f]. *)
+val elems : t -> Elem.Set.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** [map_elems g f] applies [g] to every argument. *)
+val map_elems : (Elem.t -> Elem.t) -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,197 @@
+(* Backtracking homomorphism search with join-based candidate
+   generation: the candidates for the next source element are read off a
+   destination relation scan filtered by the already-assigned positions
+   of the most-informative source fact containing it. *)
+
+type mapping = Elem.t Elem.Map.t
+
+(* Check every fact of [src] containing [x] whose arguments are all
+   assigned under [asg]. *)
+let facts_ok src dst asg x =
+  List.for_all
+    (fun f ->
+      let args = Fact.args f in
+      let all_assigned =
+        Array.for_all (fun a -> Elem.Map.mem a asg) args
+      in
+      (not all_assigned)
+      || Db.mem (Fact.make (Fact.rel f) (Array.map (fun a -> Elem.Map.find a asg) args)) dst)
+    (Db.facts_with_elem x src)
+
+(* Candidate targets for source element [x] under partial assignment
+   [asg]: pick the fact containing [x] with the most assigned arguments
+   and scan the matching destination facts; fall back to the whole
+   destination domain when [x] has no constraining fact. *)
+let candidates src dst asg x =
+  let facts = Db.facts_with_elem x src in
+  let score f =
+    Array.fold_left
+      (fun acc a -> if Elem.Map.mem a asg then acc + 1 else acc)
+      0 (Fact.args f)
+  in
+  let best =
+    List.fold_left
+      (fun acc f ->
+        match acc with
+        | Some (s, _) when s >= score f -> acc
+        | _ -> Some (score f, f))
+      None facts
+  in
+  match best with
+  | None -> Elem.Set.elements (Db.domain dst)
+  | Some (_, f) ->
+      let args = Fact.args f in
+      let n = Array.length args in
+      let matches t =
+        let targs = Fact.args t in
+        let ok = ref (Array.length targs = n) in
+        for i = 0 to n - 1 do
+          if !ok then begin
+            match Elem.Map.find_opt args.(i) asg with
+            | Some v -> if not (Elem.equal targs.(i) v) then ok := false
+            | None -> ()
+          end
+        done;
+        !ok
+      in
+      let collect acc t =
+        if matches t then begin
+          let targs = Fact.args t in
+          (* x may occur in several positions of f; all of them must
+             agree on the candidate value. *)
+          let value = ref None in
+          let consistent = ref true in
+          for i = 0 to n - 1 do
+            if Elem.equal args.(i) x then begin
+              match !value with
+              | None -> value := Some targs.(i)
+              | Some v ->
+                  if not (Elem.equal v targs.(i)) then consistent := false
+            end
+          done;
+          match (!consistent, !value) with
+          | true, Some v ->
+              if List.exists (Elem.equal v) acc then acc else v :: acc
+          | _ -> acc
+        end
+        else acc
+      in
+      List.fold_left collect [] (Db.facts_of_rel (Fact.rel f) dst)
+
+(* Order the unassigned elements: breadth-first through shared facts
+   starting from the assigned ones, so the search stays connected and
+   candidate generation has constraints to work with. *)
+let search_order src fixed =
+  let dom = Db.domain src in
+  let visited = ref Elem.Set.empty in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let push e =
+    if Elem.Set.mem e dom && not (Elem.Set.mem e !visited) then begin
+      visited := Elem.Set.add e !visited;
+      Queue.add e queue
+    end
+  in
+  List.iter push fixed;
+  let drain () =
+    while not (Queue.is_empty queue) do
+      let e = Queue.pop queue in
+      order := e :: !order;
+      List.iter
+        (fun f -> Array.iter push (Fact.args f))
+        (Db.facts_with_elem e src)
+    done
+  in
+  drain ();
+  (* Pick up disconnected components. *)
+  Elem.Set.iter
+    (fun e ->
+      if not (Elem.Set.mem e !visited) then begin
+        push e;
+        drain ()
+      end)
+    dom;
+  List.filter
+    (fun e -> not (List.exists (Elem.equal e) fixed))
+    (List.rev !order)
+
+let solve ?(fix = []) ?(naive = false) ~src ~dst ~on_solution () =
+  let dom = Db.domain src in
+  let fix = List.filter (fun (a, _) -> Elem.Set.mem a dom) fix in
+  (* Conflicting fixes (same source, different targets) mean no hom. *)
+  let init =
+    List.fold_left
+      (fun acc (a, b) ->
+        match acc with
+        | None -> None
+        | Some m -> begin
+            match Elem.Map.find_opt a m with
+            | Some b' when not (Elem.equal b b') -> None
+            | _ -> Some (Elem.Map.add a b m)
+          end)
+      (Some Elem.Map.empty) fix
+  in
+  match init with
+  | None -> ()
+  | Some init ->
+      let fixed_elems = List.map fst fix in
+      let seed_ok =
+        List.for_all (fun x -> facts_ok src dst init x) fixed_elems
+      in
+      if seed_ok then begin
+        let order = Array.of_list (search_order src fixed_elems) in
+        let n = Array.length order in
+        let rec go i asg =
+          if i >= n then on_solution asg
+          else begin
+            let x = order.(i) in
+            let try_candidate v =
+              let asg' = Elem.Map.add x v asg in
+              if facts_ok src dst asg' x then go (i + 1) asg'
+            in
+            let cands =
+              if naive then Elem.Set.elements (Db.domain dst)
+              else candidates src dst asg x
+            in
+            List.iter try_candidate cands
+          end
+        in
+        go 0 init
+      end
+
+exception Found of mapping
+
+let find ?fix ?naive ~src ~dst () =
+  match
+    solve ?fix ?naive ~src ~dst ~on_solution:(fun m -> raise (Found m)) ()
+  with
+  | () -> None
+  | exception Found m -> Some m
+
+let exists ?fix ?naive ~src ~dst () = find ?fix ?naive ~src ~dst () <> None
+
+let pointed src sa dst db =
+  if List.length sa <> List.length db then
+    invalid_arg "Hom.pointed: tuples of different lengths";
+  exists ~fix:(List.combine sa db) ~src ~dst ()
+
+let equiv_pointed d e d' e' =
+  pointed d [ e ] d' [ e' ] && pointed d' [ e' ] d [ e ]
+
+let is_hom mapping ~src ~dst =
+  List.for_all
+    (fun f ->
+      let image a =
+        match Elem.Map.find_opt a mapping with
+        | Some v -> v
+        | None -> raise Exit
+      in
+      match Fact.map_elems image f with
+      | f' -> Db.mem f' dst
+      | exception Exit -> false)
+    (Db.facts src)
+
+let count ?fix ~src ~dst () =
+  let n = ref 0 in
+  solve ?fix ~src ~dst ~on_solution:(fun _ -> incr n) ();
+  !n

@@ -1,0 +1,77 @@
+type label = Pos | Neg
+
+let label_sign = function Pos -> 1 | Neg -> -1
+let label_of_sign n = if n >= 0 then Pos else Neg
+let label_equal a b = match (a, b) with
+  | Pos, Pos | Neg, Neg -> true
+  | Pos, Neg | Neg, Pos -> false
+
+let flip = function Pos -> Neg | Neg -> Pos
+
+let pp_label fmt l =
+  Format.pp_print_string fmt (match l with Pos -> "+" | Neg -> "-")
+
+type t = label Elem.Map.t
+
+let empty = Elem.Map.empty
+let set e l t = Elem.Map.add e l t
+let of_list bindings = List.fold_left (fun t (e, l) -> set e l t) empty bindings
+let get e t = Elem.Map.find e t
+let get_opt e t = Elem.Map.find_opt e t
+let bindings t = Elem.Map.bindings t
+
+let positives t =
+  List.filter_map
+    (fun (e, l) -> match l with Pos -> Some e | Neg -> None)
+    (bindings t)
+
+let negatives t =
+  List.filter_map
+    (fun (e, l) -> match l with Neg -> Some e | Pos -> None)
+    (bindings t)
+
+let cardinal t = Elem.Map.cardinal t
+
+let disagreement a b =
+  Elem.Map.fold
+    (fun e la acc ->
+      match Elem.Map.find_opt e b with
+      | Some lb when not (label_equal la lb) -> acc + 1
+      | _ -> acc)
+    a 0
+
+let equal a b = Elem.Map.equal label_equal a b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  List.iter
+    (fun (e, l) -> Format.fprintf fmt "%a%a " Elem.pp e pp_label l)
+    (bindings t);
+  Format.fprintf fmt "@]"
+
+type training = { db : Db.t; labeling : t }
+
+let training db labeling =
+  let entities = Db.entities db in
+  List.iter
+    (fun e ->
+      if get_opt e labeling = None then
+        invalid_arg
+          (Printf.sprintf "Labeling.training: unlabeled entity %s"
+             (Elem.to_string e)))
+    entities;
+  Elem.Map.iter
+    (fun e _ ->
+      if not (Db.is_entity e db) then
+        invalid_arg
+          (Printf.sprintf "Labeling.training: %s labeled but not an entity"
+             (Elem.to_string e)))
+    labeling;
+  { db; labeling }
+
+let training_of_list facts labeled =
+  let db = Db.of_list facts in
+  let db =
+    List.fold_left (fun db (e, _) -> Db.add_entity e db) db labeled
+  in
+  training db (of_list labeled)

@@ -1,0 +1,56 @@
+(** Labelings and training databases.
+
+    A labeling assigns [+1] (positive) or [-1] (negative) to every
+    entity of a database; a training database pairs a database with a
+    labeling of its entities (Section 3 of the paper). *)
+
+type label = Pos | Neg
+
+(** [label_sign l] is [+1] for [Pos] and [-1] for [Neg]. *)
+val label_sign : label -> int
+
+val label_of_sign : int -> label
+val label_equal : label -> label -> bool
+val flip : label -> label
+val pp_label : Format.formatter -> label -> unit
+
+type t
+(** A labeling: a finite map from entities to labels. *)
+
+val empty : t
+
+(** [set e l t] binds entity [e] to label [l]. *)
+val set : Elem.t -> label -> t -> t
+
+(** [of_list bindings] builds a labeling from [(entity, label)] pairs. *)
+val of_list : (Elem.t * label) list -> t
+
+(** [get e t] looks up the label of [e].
+    @raise Not_found if [e] is unlabeled. *)
+val get : Elem.t -> t -> label
+
+val get_opt : Elem.t -> t -> label option
+val bindings : t -> (Elem.t * label) list
+val positives : t -> Elem.t list
+val negatives : t -> Elem.t list
+val cardinal : t -> int
+
+(** [disagreement a b] counts the entities labeled by both [a] and [b]
+    on which they differ. *)
+val disagreement : t -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type training = { db : Db.t; labeling : t }
+(** A training database [(D, λ)]. *)
+
+(** [training db labeling] pairs a database with a labeling.
+    @raise Invalid_argument if some entity of [db] is unlabeled or some
+    labeled element is not an entity of [db]. *)
+val training : Db.t -> t -> training
+
+(** [training_of_list facts labeled] builds the database from [facts]
+    plus an [eta] fact per labeled entity, and the labeling from
+    [labeled]. *)
+val training_of_list : (string * Elem.t list) list -> (Elem.t * label) list -> training

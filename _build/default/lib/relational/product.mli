@@ -1,0 +1,25 @@
+(** Direct products of databases.
+
+    The direct product [D1 × D2] has a fact
+    [R((a1,b1),...,(ak,bk))] for every pair of facts [R(ā) ∈ D1],
+    [R(b̄) ∈ D2]. It is the categorical product with respect to
+    homomorphisms: [(C,c̄) → (D1×D2, (ā,b̄))] iff [(C,c̄) → (D1,ā)] and
+    [(C,c̄) → (D2,b̄)]. Products are the engine of the QBE results of
+    Section 6 (ten Cate–Dalmau): the canonical CQ of the product of the
+    positive pointed databases is the most specific candidate
+    explanation. The n-ary product grows exponentially in n, which is
+    the source of the coNEXPTIME/EXPTIME bounds of Theorem 6.1. *)
+
+(** [binary d1 d2] is the direct product [d1 × d2]; elements are
+    [Elem.Tup [a; b]] pairs. *)
+val binary : Db.t -> Db.t -> Db.t
+
+(** [pointed pds] is the n-ary product of the pointed databases
+    [(d_i, e_i)], returning the product database together with the
+    distinguished product element [Tup [e_1; ...; e_n]].
+    @raise Invalid_argument on the empty list. *)
+val pointed : (Db.t * Elem.t) list -> Db.t * Elem.t
+
+(** [nary ds] is the n-ary product; elements are n-tuples.
+    @raise Invalid_argument on the empty list. *)
+val nary : Db.t list -> Db.t

@@ -1,0 +1,158 @@
+exception Parse_error of string
+
+type document = { db : Db.t; labeling : Labeling.t }
+
+(* --- lexing helpers ------------------------------------------------ *)
+
+type token = Ident of string | Num of int | Lpar | Rpar | Comma
+
+let tokenize ~line_no line =
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "line %d: %s" line_no msg))
+  in
+  let n = String.length line in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c =
+    is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      match line.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '#' -> List.rev acc
+      | '(' -> go (i + 1) (Lpar :: acc)
+      | ')' -> go (i + 1) (Rpar :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' when i = n - 1 -> List.rev acc
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident line.[!j] do incr j done;
+          go !j (Ident (String.sub line i (!j - i)) :: acc)
+      | c when is_digit c || c = '-' ->
+          let j = ref i in
+          if c = '-' then incr j;
+          if !j >= n || not (is_digit line.[!j]) then
+            fail (Printf.sprintf "unexpected character %C" c);
+          while !j < n && is_digit line.[!j] do incr j done;
+          go !j (Num (int_of_string (String.sub line i (!j - i))) :: acc)
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  in
+  go 0 []
+
+(* --- parsing ------------------------------------------------------- *)
+
+(* elem  ::= Ident | Num | '(' elem (',' elem)* ')' *)
+let parse_fail ~line_no msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" line_no msg))
+
+let rec parse_elem ~line_no = function
+  | Ident s :: rest -> (Elem.sym s, rest)
+  | Num n :: rest -> (Elem.int n, rest)
+  | Lpar :: rest ->
+      let rec elems acc rest =
+        let e, rest = parse_elem ~line_no rest in
+        match rest with
+        | Comma :: rest -> elems (e :: acc) rest
+        | Rpar :: rest -> (List.rev (e :: acc), rest)
+        | _ -> parse_fail ~line_no "expected ',' or ')' in tuple"
+      in
+      let es, rest = elems [] rest in
+      (Elem.tup es, rest)
+  | _ -> parse_fail ~line_no "expected an element"
+
+let parse_fact ~line_no rel tokens =
+  match tokens with
+  | Lpar :: rest ->
+      let rec args acc rest =
+        let e, rest = parse_elem ~line_no rest in
+        match rest with
+        | Comma :: rest -> args (e :: acc) rest
+        | Rpar :: rest -> (List.rev (e :: acc), rest)
+        | _ -> parse_fail ~line_no "expected ',' or ')' in fact arguments"
+      in
+      let es, rest = args [] rest in
+      if rest <> [] then parse_fail ~line_no "trailing tokens after fact";
+      Fact.make_l rel es
+  | _ -> parse_fail ~line_no "expected '(' after relation name"
+
+let parse_string s =
+  let db = ref Db.empty in
+  let labeling = ref Labeling.empty in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun idx raw ->
+      let line_no = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else if line.[0] = '+' || line.[0] = '-' || line.[0] = '?' then begin
+        let marker = line.[0] in
+        let rest = String.sub line 1 (String.length line - 1) in
+        let tokens = tokenize ~line_no rest in
+        let e, leftover = parse_elem ~line_no tokens in
+        if leftover <> [] then
+          parse_fail ~line_no "trailing tokens after entity";
+        db := Db.add_entity e !db;
+        match marker with
+        | '+' -> labeling := Labeling.set e Labeling.Pos !labeling
+        | '-' -> labeling := Labeling.set e Labeling.Neg !labeling
+        | _ -> ()
+      end
+      else begin
+        match tokenize ~line_no line with
+        | Ident rel :: rest ->
+            db := Db.add (parse_fact ~line_no rel rest) !db
+        | _ -> parse_fail ~line_no "expected a fact or an entity line"
+      end)
+    lines;
+  { db = !db; labeling = !labeling }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let training_of_document doc = Labeling.training doc.db doc.labeling
+
+(* --- printing ------------------------------------------------------ *)
+
+let print_facts buf db labeling =
+  List.iter
+    (fun f ->
+      if Fact.rel f <> Db.entity_rel then begin
+        Buffer.add_string buf (Fact.to_string f);
+        Buffer.add_char buf '\n'
+      end)
+    (Db.facts db);
+  List.iter
+    (fun e ->
+      let marker =
+        match labeling with
+        | None -> "?"
+        | Some l -> begin
+            match Labeling.get_opt e l with
+            | Some Labeling.Pos -> "+"
+            | Some Labeling.Neg -> "-"
+            | None -> "?"
+          end
+      in
+      Buffer.add_string buf marker;
+      Buffer.add_string buf (Elem.to_string e);
+      Buffer.add_char buf '\n')
+    (Db.entities db)
+
+let print_training (t : Labeling.training) =
+  let buf = Buffer.create 256 in
+  print_facts buf t.Labeling.db (Some t.Labeling.labeling);
+  Buffer.contents buf
+
+let print_db db =
+  let buf = Buffer.create 256 in
+  print_facts buf db None;
+  Buffer.contents buf

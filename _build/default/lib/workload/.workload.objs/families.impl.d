@@ -1,0 +1,1 @@
+lib/workload/families.ml: Db Elem Labeling List Printf

@@ -1,0 +1,1 @@
+lib/workload/families.mli: Db Labeling

@@ -1,0 +1,1 @@
+lib/workload/gen_db.ml: Array Db Elem Fact Labeling List Printf Random

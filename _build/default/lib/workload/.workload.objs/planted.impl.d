@@ -1,0 +1,1 @@
+lib/workload/planted.ml: Array Cq Db Elem Labeling List Random

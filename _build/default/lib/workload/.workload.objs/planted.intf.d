@@ -1,0 +1,1 @@
+lib/workload/planted.mli: Cq Db Labeling

@@ -1,0 +1,120 @@
+let v i = Elem.sym (Printf.sprintf "v%d" i)
+
+let with_entities db =
+  Elem.Set.fold Db.add_entity (Db.domain db) db
+
+let path n =
+  with_entities
+    (Db.of_list (List.init n (fun i -> ("E", [ v i; v (i + 1) ]))))
+
+let cycle n =
+  with_entities
+    (Db.of_list (List.init n (fun i -> ("E", [ v i; v ((i + 1) mod n) ]))))
+
+let grid w h =
+  let node x y = Elem.sym (Printf.sprintf "g%d_%d" x y) in
+  let horiz =
+    List.concat_map
+      (fun x ->
+        List.init h (fun y -> ("H", [ node x y; node (x + 1) y ])))
+      (List.init (w - 1) (fun x -> x))
+  in
+  let vert =
+    List.concat_map
+      (fun x -> List.init (h - 1) (fun y -> ("V", [ node x y; node x (y + 1) ])))
+      (List.init w (fun x -> x))
+  in
+  with_entities (Db.of_list (horiz @ vert))
+
+let linear_chain n =
+  let edges = List.init (n - 1) (fun i -> ("E", [ v (i + 1); v (i + 2) ])) in
+  with_entities (Db.of_list (("E", [ v n; v n ]) :: edges))
+
+let alternating_labels db =
+  let entities = Db.entities db in
+  let labeled =
+    List.mapi
+      (fun i e -> (e, if i mod 2 = 0 then Labeling.Pos else Labeling.Neg))
+      entities
+  in
+  Labeling.training db (Labeling.of_list labeled)
+
+let example_62 () =
+  let a = Elem.sym "a" and b = Elem.sym "b" and c = Elem.sym "c" in
+  Labeling.training_of_list
+    [ ("R", [ a ]); ("S", [ a ]); ("S", [ c ]) ]
+    [ (a, Labeling.Pos); (b, Labeling.Pos); (c, Labeling.Neg) ]
+
+let ghw_dimension_family m = alternating_labels (linear_chain (2 * m))
+
+let two_path_gadget n =
+  let p i j = Elem.sym (Printf.sprintf "p%d_%d" i j) in
+  (* Component 1: path of length n from entity s1; component 2: path of
+     length n-1 from entity s2. *)
+  let comp i len =
+    List.init len (fun j -> ("E", [ p i j; p i (j + 1) ]))
+  in
+  let db = Db.of_list (comp 1 n @ comp 2 (n - 1)) in
+  let s1 = p 1 0 and s2 = p 2 0 in
+  let db = Db.add_entity s1 (Db.add_entity s2 db) in
+  Labeling.training db
+    (Labeling.of_list [ (s1, Labeling.Pos); (s2, Labeling.Neg) ])
+
+let star ~center_out n =
+  let hub = Elem.sym "hub" in
+  let leaf i = Elem.sym (Printf.sprintf "leaf%d" i) in
+  let edges =
+    List.init n (fun i ->
+        if center_out then ("E", [ hub; leaf i ]) else ("E", [ leaf i; hub ]))
+  in
+  with_entities (Db.of_list edges)
+
+let binary_tree depth =
+  let rec nodes prefix d acc =
+    if d > depth then acc
+    else begin
+      let self = Elem.sym prefix in
+      let acc =
+        if d = depth then acc
+        else
+          ("E", [ self; Elem.sym (prefix ^ "l") ])
+          :: ("E", [ self; Elem.sym (prefix ^ "r") ])
+          :: acc
+      in
+      if d = depth then acc
+      else nodes (prefix ^ "l") (d + 1) (nodes (prefix ^ "r") (d + 1) acc)
+    end
+  in
+  with_entities (Db.of_list (nodes "t" 0 []))
+
+let complete_bipartite a b =
+  let left i = Elem.sym (Printf.sprintf "l%d" i) in
+  let right j = Elem.sym (Printf.sprintf "r%d" j) in
+  let edges =
+    List.concat
+      (List.init a (fun i -> List.init b (fun j -> ("E", [ left i; right j ]))))
+  in
+  with_entities (Db.of_list edges)
+
+let symmetric_clique n =
+  let node i = Elem.sym (Printf.sprintf "k%d" i) in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           List.concat
+             (List.init n (fun j ->
+                  if i <> j then [ ("E", [ node i; node j ]) ] else []))))
+  in
+  with_entities (Db.of_list edges)
+
+let copies (t : Labeling.training) n =
+  let rename i e = Elem.tup [ Elem.int i; e ] in
+  let db = ref Db.empty in
+  let labeled = ref [] in
+  for i = 1 to n do
+    db := Db.union !db (Db.map_elems (rename i) t.db);
+    List.iter
+      (fun (e, l) -> labeled := (rename i e, l) :: !labeled)
+      (Labeling.bindings t.labeling)
+  done;
+  Labeling.training !db (Labeling.of_list !labeled)

@@ -1,0 +1,69 @@
+(** Structured database families, including the paper's hard
+    instances. *)
+
+(** [path n] is the directed path [v0 → v1 → ... → vn] over relation
+    [E], every node an entity. *)
+val path : int -> Db.t
+
+(** [cycle n] is the directed n-cycle, every node an entity. *)
+val cycle : int -> Db.t
+
+(** [grid w h] is the w×h directed grid over relations [H] and [V],
+    every node an entity. *)
+val grid : int -> int -> Db.t
+
+(** [linear_chain n] is the loop-terminated path
+    [v1 → v2 → ... → vn → vn]: the self-loop makes every forward
+    constraint trivially satisfiable, so CQ indicator sets on it are
+    the up-sets [{v_s, ..., v_n}] — a {e chain}, witnessing the
+    Prop 8.6 premise for CQ/GHW(k) and driving the unbounded-dimension
+    demonstration (Thm 8.7). *)
+val linear_chain : int -> Db.t
+
+(** [alternating_labels db] labels the entities of [db] alternately
+    [+,-,+,-,...] in domain order — on {!linear_chain} this maximizes
+    the dimension needed to separate. *)
+val alternating_labels : Db.t -> Labeling.training
+
+(** [example_62 ()] is Example 6.2 of the paper: entities [a,b,c] with
+    [R(a), S(a), S(c)], labels [λ(a)=λ(b)=+], [λ(c)=-]; separable by
+    the 2-feature statistic [(R(x), S(x))] but by no single CQ
+    feature. *)
+val example_62 : unit -> Labeling.training
+
+(** [ghw_dimension_family m] is a GHW(1)-separable training database
+    with [2m] entities on which every separating statistic needs at
+    least [m] features (the dimension half of Theorem 5.7): the
+    [linear_chain (2m)] with alternating labels. *)
+val ghw_dimension_family : int -> Labeling.training
+
+(** [two_path_gadget n] is a training database with two entities — the
+    start of a forward path of length [n] (positive) and of length
+    [n-1] (negative) — distinguishing which requires a GHW(1) feature
+    of ≥ n atoms; the stabilization depth of the canonical unraveling
+    grows with [n] (the feature-size half of Theorem 5.7, whose
+    exponential bound our benches reproduce in shape via
+    {!Unravel.node_count}). *)
+val two_path_gadget : int -> Labeling.training
+
+(** [star ~center_out n] is a star with [n] leaves over [E], edges
+    oriented away from ([center_out = true]) or into the hub; every
+    node an entity. *)
+val star : center_out:bool -> int -> Db.t
+
+(** [binary_tree depth] is the complete binary tree of the given depth
+    over [E] (parent → child), every node an entity. *)
+val binary_tree : int -> Db.t
+
+(** [complete_bipartite a b] is K_{a,b} directed left → right, every
+    node an entity. *)
+val complete_bipartite : int -> int -> Db.t
+
+(** [symmetric_clique n] is K_n with both edge directions (no loops) —
+    the GHW(1)-indistinguishability gadget (K4 vs K3 in the tests),
+    every node an entity. *)
+val symmetric_clique : int -> Db.t
+
+(** [copies t n] is the disjoint union of [n] isomorphic copies of the
+    training database (entities relabeled per copy). *)
+val copies : Labeling.training -> int -> Labeling.training

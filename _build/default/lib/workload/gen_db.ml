@@ -1,0 +1,49 @@
+let elem i = Elem.sym (Printf.sprintf "v%d" i)
+
+let random_db ~seed ~schema ~domain_size ~facts_per_rel () =
+  let rng = Random.State.make [| seed |] in
+  let fact rel arity =
+    Fact.make rel
+      (Array.init arity (fun _ -> elem (Random.State.int rng domain_size)))
+  in
+  Db.of_facts
+    (List.concat_map
+       (fun (rel, arity) ->
+         List.init facts_per_rel (fun _ -> fact rel arity))
+       schema)
+
+let random_training ~seed ~schema ~domain_size ~facts_per_rel ~entities () =
+  let rng = Random.State.make [| seed + 1 |] in
+  let db = random_db ~seed ~schema ~domain_size ~facts_per_rel () in
+  let pool = Array.init domain_size elem in
+  (* Fisher–Yates prefix for a sample without replacement. *)
+  let n = min entities domain_size in
+  for i = 0 to n - 1 do
+    let j = i + Random.State.int rng (domain_size - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  let chosen = Array.sub pool 0 n in
+  let db = Array.fold_left (fun db e -> Db.add_entity e db) db chosen in
+  let labeled =
+    Array.to_list
+      (Array.map
+         (fun e ->
+           (e, if Random.State.bool rng then Labeling.Pos else Labeling.Neg))
+         chosen)
+  in
+  Labeling.training db (Labeling.of_list labeled)
+
+let random_graph_db ~seed ~nodes ~edges () =
+  let rng = Random.State.make [| seed |] in
+  let db = ref Db.empty in
+  for _ = 1 to edges do
+    let a = Random.State.int rng nodes and b = Random.State.int rng nodes in
+    db := Db.add (Fact.make_l "E" [ elem a; elem b ]) !db
+  done;
+  let db = ref !db in
+  for i = 0 to nodes - 1 do
+    db := Db.add_entity (elem i) !db
+  done;
+  !db

@@ -1,0 +1,24 @@
+(** Random training-database generation for tests and benches.
+
+    All generators are deterministic given the [seed] (no ambient
+    randomness), so every bench run and failing test case is
+    reproducible. *)
+
+(** [random_db ~seed ~schema ~domain_size ~facts_per_rel ()] draws
+    facts uniformly (with replacement, then deduplicated) over a domain
+    [{v0, ..., v_{domain_size-1}}]. *)
+val random_db :
+  seed:int -> schema:(string * int) list -> domain_size:int ->
+  facts_per_rel:int -> unit -> Db.t
+
+(** [random_training ~seed ~schema ~domain_size ~facts_per_rel
+    ~entities ()] additionally promotes [entities] random domain
+    elements to entities with uniformly random labels. *)
+val random_training :
+  seed:int -> schema:(string * int) list -> domain_size:int ->
+  facts_per_rel:int -> entities:int -> unit -> Labeling.training
+
+(** [random_graph_db ~seed ~nodes ~edges ()] is a random digraph over a
+    single binary relation [E] with every node an entity (labels not
+    included; see {!Planted}). *)
+val random_graph_db : seed:int -> nodes:int -> edges:int -> unit -> Db.t

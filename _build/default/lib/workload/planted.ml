@@ -1,0 +1,48 @@
+let label_by_query db q =
+  let selected = Elem.Set.of_list (Cq.eval q db) in
+  let labeled =
+    List.map
+      (fun e ->
+        (e, if Elem.Set.mem e selected then Labeling.Pos else Labeling.Neg))
+      (Db.entities db)
+  in
+  Labeling.training db (Labeling.of_list labeled)
+
+let flip_labels ~seed ~count (t : Labeling.training) =
+  let rng = Random.State.make [| seed |] in
+  let entities = Array.of_list (Db.entities t.db) in
+  let n = Array.length entities in
+  let count = min count n in
+  for i = 0 to count - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let tmp = entities.(i) in
+    entities.(i) <- entities.(j);
+    entities.(j) <- tmp
+  done;
+  let flipped =
+    Array.to_list (Array.sub entities 0 count) |> Elem.Set.of_list
+  in
+  let labeling =
+    List.fold_left
+      (fun acc (e, l) ->
+        let l' = if Elem.Set.mem e flipped then Labeling.flip l else l in
+        Labeling.set e l' acc)
+      Labeling.empty
+      (Labeling.bindings t.labeling)
+  in
+  Labeling.training t.db labeling
+
+let accuracy ~truth labeling =
+  let entities = Db.entities truth.Labeling.db in
+  let agree =
+    List.fold_left
+      (fun acc e ->
+        match Labeling.get_opt e labeling with
+        | Some l
+          when Labeling.label_equal l (Labeling.get e truth.Labeling.labeling)
+          ->
+            acc + 1
+        | _ -> acc)
+      0 entities
+  in
+  float_of_int agree /. float_of_int (max 1 (List.length entities))

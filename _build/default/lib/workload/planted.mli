@@ -1,0 +1,21 @@
+(** Planted-query labelings and label noise.
+
+    The canonical generative model for separability experiments: label
+    the entities of a database by a hidden ("planted") feature query,
+    optionally flip a fraction of labels. By construction the clean
+    instance is separable by a 1-feature statistic containing the
+    planted query, and the noisy instance is separable with error at
+    most the flip count — the setting of Section 7. *)
+
+(** [label_by_query db q] labels each entity [Pos] iff selected by
+    [q]. *)
+val label_by_query : Db.t -> Cq.t -> Labeling.training
+
+(** [flip_labels ~seed ~count t] flips the labels of [count] distinct
+    entities chosen uniformly (deterministic in [seed]). *)
+val flip_labels : seed:int -> count:int -> Labeling.training -> Labeling.training
+
+(** [accuracy ~truth labeling] is the fraction of entities of [truth]
+    on which [labeling] agrees (entities missing from [labeling] count
+    as errors). *)
+val accuracy : truth:Labeling.training -> Labeling.t -> float

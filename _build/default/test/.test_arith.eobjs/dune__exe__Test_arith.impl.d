@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Bigint List QCheck Rat Test_util

@@ -1,0 +1,1 @@
+test/test_covergame.ml: Alcotest Array Cover_game Cq Cq_decomp Cq_enum Db Families Hom List Printf QCheck Test_util Unravel

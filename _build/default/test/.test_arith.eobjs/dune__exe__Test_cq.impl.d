@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Cq Cq_decomp Cq_enum Cq_parse Db Elem Eval_engine Ghw_eval Join_tree Lazy List Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_folang.ml: Alcotest Cq Cq_enum Cq_parse Cq_sep Db Elem Fact Families Fo_dimension Fo_formula Fo_generate Fo_sep Hom Labeling Lazy List Pebble_game Printf QCheck Struct_iso Test_util

@@ -1,0 +1,1 @@
+test/test_linsep.ml: Alcotest Array Labeling Linsep List Printf QCheck Test_util

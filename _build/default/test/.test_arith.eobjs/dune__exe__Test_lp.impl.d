@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List QCheck Rat Simplex Test_util

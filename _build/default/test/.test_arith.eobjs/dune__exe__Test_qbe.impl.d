@@ -1,0 +1,1 @@
+test/test_qbe.ml: Alcotest Cq Cq_decomp Db Elem List Printf QCheck Qbe Test_util

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Db Elem Fact Hom Labeling List Printf Product QCheck Test_util Textfmt

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Db Elem Fact Labeling List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cq_parse Cqfeat Db Families Gen_db Hom Labeling Language List Planted QCheck Test_util

@@ -1,0 +1,401 @@
+(* Tests for conjunctive queries: evaluation, containment, cores,
+   conjunction, enumeration and decompositions. *)
+
+open Test_util
+
+let q s = Cq_parse.parse s
+let edge a b = ("E", [ sym a; sym b ])
+
+let path_db n =
+  let db =
+    Db.of_list
+      (List.init n (fun i ->
+           edge (Printf.sprintf "v%d" i) (Printf.sprintf "v%d" (i + 1))))
+  in
+  List.fold_left
+    (fun db i -> Db.add_entity (sym (Printf.sprintf "v%d" i)) db)
+    db
+    (List.init (n + 1) (fun i -> i))
+
+(* --- evaluation ------------------------------------------------------ *)
+
+let test_eval_path () =
+  let db = path_db 4 in
+  let q2 = q "x :- E(x,y), E(y,z)" in
+  let sel = List.sort Elem.compare (Cq.eval q2 db) in
+  Alcotest.(check (list string))
+    "two forward steps" [ "v0"; "v1"; "v2" ]
+    (List.map Elem.to_string sel)
+
+let test_eval_empty_body () =
+  let db = path_db 2 in
+  Alcotest.(check int) "top selects all" 3 (List.length (Cq.eval Cq.top db))
+
+let test_eval_disconnected () =
+  (* q(x) :- U(z): selects every entity iff some U fact exists *)
+  let qd = q "x :- U(z)" in
+  let db = Db.add_entity (sym "a") (Db.of_list [ ("U", [ sym "b" ]) ]) in
+  Alcotest.(check int) "selected" 1 (List.length (Cq.eval qd db));
+  let db2 = Db.add_entity (sym "a") Db.empty in
+  Alcotest.(check int) "none" 0 (List.length (Cq.eval qd db2))
+
+let test_selects_requires_entity () =
+  let db = Db.of_list [ edge "a" "b" ] in
+  (* no eta facts: nothing selected *)
+  let q1 = q "x :- E(x,y)" in
+  Alcotest.(check bool) "a not entity" false (Cq.selects q1 db (sym "a"))
+
+(* --- atoms / vars ----------------------------------------------------- *)
+
+let test_counting () =
+  let q3 = q "x :- E(x,y), E(y,z), U(x)" in
+  Alcotest.(check int) "atoms" 3 (Cq.num_atoms q3);
+  Alcotest.(check int) "vars" 3 (Elem.Set.cardinal (Cq.vars q3));
+  Alcotest.(check int) "existential" 2
+    (Elem.Set.cardinal (Cq.existential_vars q3));
+  Alcotest.(check int) "max occurrences" 2 (Cq.max_var_occurrences q3)
+
+(* --- containment ------------------------------------------------------ *)
+
+let test_containment () =
+  let q1 = q "x :- E(x,y), E(y,z)" in
+  let q2 = q "x :- E(x,y)" in
+  Alcotest.(check bool) "2-step ⊑ 1-step" true (Cq.contained_in q1 q2);
+  Alcotest.(check bool) "1-step ⋢ 2-step" false (Cq.contained_in q2 q1);
+  let q1' = q "x :- E(x,u), E(u,w)" in
+  Alcotest.(check bool) "alpha-equivalent" true (Cq.equivalent q1 q1')
+
+let test_containment_fold () =
+  (* E(x,y),E(y,x) (2-cycle through x) is contained in E(x,x)? No:
+     containment means canonical db of superset maps...
+     q_loop(x) :- E(x,x) is contained in q_cyc(x) :- E(x,y),E(y,x)
+     because folding y to x maps the cycle onto the loop. *)
+  let q_loop = q "x :- E(x,x)" in
+  let q_cyc = q "x :- E(x,y), E(y,x)" in
+  Alcotest.(check bool) "loop ⊑ cycle" true (Cq.contained_in q_loop q_cyc);
+  Alcotest.(check bool) "cycle ⋢ loop" false (Cq.contained_in q_cyc q_loop)
+
+(* --- core ------------------------------------------------------------- *)
+
+let test_core_redundant_atom () =
+  (* E(x,y) ∧ E(x,z): z-branch is redundant *)
+  let qr = q "x :- E(x,y), E(x,z)" in
+  let c = Cq.core qr in
+  Alcotest.(check int) "core atoms" 1 (Cq.num_atoms c);
+  Alcotest.(check bool) "equivalent" true (Cq.equivalent qr c)
+
+let test_core_keeps_needed () =
+  let qn = q "x :- E(x,y), E(y,z)" in
+  let c = Cq.core qn in
+  Alcotest.(check int) "core keeps both" 2 (Cq.num_atoms c)
+
+let prop_core_equivalent =
+  QCheck.Test.make ~name:"core is equivalent and no larger" ~count:40
+    (spec_arb ~max_nodes:3 ~max_edges:4)
+    (fun s ->
+      let db = db_of_spec s in
+      QCheck.assume (Db.domain_size db > 0);
+      let e0 = List.hd (Elem.Set.elements (Db.domain db)) in
+      let qq = Cq.of_pointed_db (db, e0) in
+      let c = Cq.core qq in
+      Cq.equivalent qq c && Cq.num_atoms c <= Cq.num_atoms qq)
+
+let prop_core_idempotent =
+  QCheck.Test.make ~name:"core is idempotent" ~count:25
+    (spec_arb ~max_nodes:3 ~max_edges:4)
+    (fun s ->
+      let db = db_of_spec s in
+      QCheck.assume (Db.domain_size db > 0);
+      let e0 = List.hd (Elem.Set.elements (Db.domain db)) in
+      let c = Cq.core (Cq.of_pointed_db (db, e0)) in
+      Cq.num_atoms (Cq.core c) = Cq.num_atoms c)
+
+(* --- conjunction ------------------------------------------------------ *)
+
+let prop_conjoin_semantics =
+  QCheck.Test.make ~name:"conjoin selects iff both select" ~count:40
+    (spec_arb ~max_nodes:4 ~max_edges:5)
+    (fun s ->
+      let db = db_of_spec s in
+      let q1 = q "x :- E(x,y)" and q2 = q "x :- U(x)" in
+      let qc = Cq.conjoin q1 q2 in
+      List.for_all
+        (fun en ->
+          Cq.selects qc db en = (Cq.selects q1 db en && Cq.selects q2 db en))
+        (Db.entities db))
+
+let test_conjoin_all () =
+  let qs = [ q "x :- E(x,y)"; q "x :- E(y,x)"; q "x :- U(x)" ] in
+  let qc = Cq.conjoin_all qs in
+  Alcotest.(check int) "atom count" 3 (Cq.num_atoms qc);
+  match Cq.conjoin_all [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty conjoin_all must raise"
+
+(* --- parse / print ---------------------------------------------------- *)
+
+let test_parse_roundtrip () =
+  let cases =
+    [ "x :- E(x,y), E(y,z)"; "x :- true"; "x :- U(x), E(x,x)" ]
+  in
+  List.iter
+    (fun s ->
+      let q1 = q s in
+      let q2 = q (Cq.to_string q1) in
+      Alcotest.(check bool) (s ^ " roundtrip") true (Cq.equivalent q1 q2))
+    cases;
+  match Cq_parse.parse "E(x,y)" with
+  | exception Cq_parse.Parse_error _ -> ()
+  | _ -> Alcotest.fail "missing head must fail"
+
+let test_iso_canonical () =
+  let a = q "x :- E(x,y), E(y,z)" in
+  let b = q "x :- E(x,u), E(u,v)" in
+  let c = q "x :- E(x,y), E(z,y)" in
+  Alcotest.(check string) "iso equal" (Cq.iso_canonical_string a)
+    (Cq.iso_canonical_string b);
+  Alcotest.(check bool) "distinct" true
+    (Cq.iso_canonical_string a <> Cq.iso_canonical_string c)
+
+(* --- enumeration ------------------------------------------------------ *)
+
+let test_enum_counts_unary () =
+  (* CQ[1] over {R/1}: top, R(x), R(y) *)
+  Alcotest.(check int) "CQ[1] over R/1" 3
+    (Cq_enum.count ~schema:[ ("R", 1) ] ~max_atoms:1 ());
+  (* CQ[2] over {R/1}: plus R(x)R(y), R(y)R(z) *)
+  Alcotest.(check int) "CQ[2] over R/1" 5
+    (Cq_enum.count ~schema:[ ("R", 1) ] ~max_atoms:2 ())
+
+let test_enum_counts_binary () =
+  (* CQ[1] over {E/2}: top + E(x,x) E(x,y) E(y,x) E(y,y) E(y,z) *)
+  Alcotest.(check int) "CQ[1] over E/2" 6
+    (Cq_enum.count ~schema:[ ("E", 2) ] ~max_atoms:1 ())
+
+let test_enum_var_occurrence_restriction () =
+  (* CQ[1,1] over {E/2}: each variable at most once: E(x,y) with x used
+     once... x also occurs in eta which is not counted; patterns E(y,z)
+     and E(x,y) qualify; E(x,x), E(y,y) do not. *)
+  let qs =
+    Cq_enum.feature_queries ~max_var_occ:1 ~schema:[ ("E", 2) ] ~max_atoms:1 ()
+  in
+  Alcotest.(check int) "CQ[1,1] over E/2" 4 (List.length qs)
+
+let test_enum_contains_disconnected () =
+  let qs = Cq_enum.feature_queries ~schema:[ ("U", 1) ] ~max_atoms:1 () in
+  Alcotest.(check bool) "has U(y)" true
+    (List.exists (fun c -> Cq.equivalent c (q "x :- U(y)")) qs)
+
+let prop_enum_within_bounds =
+  QCheck.Test.make ~name:"enumerated queries respect m and p" ~count:10
+    (QCheck.pair (QCheck.int_range 1 2) (QCheck.int_range 1 2))
+    (fun (m, p) ->
+      let qs =
+        Cq_enum.feature_queries ~max_var_occ:p
+          ~schema:[ ("E", 2); ("U", 1) ]
+          ~max_atoms:m ()
+      in
+      List.for_all
+        (fun c -> Cq.num_atoms c <= m && Cq.max_var_occurrences c <= p)
+        qs)
+
+let test_dedupe_equivalent () =
+  let qs = [ q "x :- E(x,y)"; q "x :- E(x,u)"; q "x :- E(x,y), E(x,z)" ] in
+  Alcotest.(check int) "dedupe" 1 (List.length (Cq_enum.dedupe_equivalent qs))
+
+(* --- decompositions --------------------------------------------------- *)
+
+let test_ghw_values () =
+  Alcotest.(check int) "path" 1 (Cq_decomp.ghw (q "x :- E(x,y), E(y,z)"));
+  Alcotest.(check int) "triangle detached" 2
+    (Cq_decomp.ghw (q "x :- E(a,b), E(b,c), E(c,a)"));
+  Alcotest.(check int) "triangle through x" 1
+    (Cq_decomp.ghw (q "x :- E(x,b), E(b,c), E(c,x)"));
+  Alcotest.(check int) "no existential vars" 0
+    (Cq_decomp.ghw (q "x :- E(x,x)"));
+  (* 4-cycle of existential vars: ghw 2 *)
+  Alcotest.(check int) "C4" 2
+    (Cq_decomp.ghw (q "x :- E(a,b), E(b,c), E(c,d), E(d,a)"))
+
+let test_acyclicity () =
+  Alcotest.(check bool) "path acyclic" true
+    (Cq_decomp.is_free_acyclic (q "x :- E(x,y), E(y,z)"));
+  Alcotest.(check bool) "triangle cyclic" false
+    (Cq_decomp.is_free_acyclic (q "x :- E(a,b), E(b,c), E(c,a)"));
+  Alcotest.(check bool) "triangle through x acyclic" true
+    (Cq_decomp.is_free_acyclic (q "x :- E(x,b), E(b,c), E(c,x)"))
+
+let prop_ghw_monotone =
+  QCheck.Test.make ~name:"ghw_le monotone in k" ~count:20
+    (spec_arb ~max_nodes:3 ~max_edges:4)
+    (fun s ->
+      let db = db_of_spec s in
+      QCheck.assume (Db.domain_size db > 0 && Db.size db > 0);
+      let e0 = List.hd (Elem.Set.elements (Db.domain db)) in
+      let qq = Cq.of_pointed_db (db, e0) in
+      let g = Cq_decomp.ghw qq in
+      g <= max 1 (Cq.num_atoms qq)
+      && (g = 0 || not (Cq_decomp.ghw_le qq (g - 1)))
+      && Cq_decomp.ghw_le qq g
+      && Cq_decomp.ghw_le qq (g + 1))
+
+(* --- evaluation engines ------------------------------------------------ *)
+
+let all_test_queries =
+  lazy
+    (Cq_enum.feature_queries ~schema:[ ("E", 2); ("U", 1) ] ~max_atoms:3 ())
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"hom, yannakakis and ghw engines agree" ~count:40
+    (QCheck.pair (spec_arb ~max_nodes:4 ~max_edges:6) (QCheck.int_range 0 5000))
+    (fun (s, qi) ->
+      let db = db_of_spec s in
+      let qs = Lazy.force all_test_queries in
+      let qq = List.nth qs (qi mod List.length qs) in
+      let reference =
+        List.sort Elem.compare (Cq.eval qq db)
+      in
+      let via_engine =
+        List.sort Elem.compare (Eval_engine.eval qq db)
+      in
+      let acyclic_ok =
+        match Join_tree.build qq with
+        | None -> true
+        | Some _ ->
+            List.sort Elem.compare (Join_tree.eval qq db) = reference
+      in
+      let ghw_ok =
+        match Ghw_eval.eval ~k:2 qq db with
+        | None -> true
+        | Some res -> List.sort Elem.compare res = reference
+      in
+      via_engine = reference && acyclic_ok && ghw_ok)
+
+let test_join_tree_shapes () =
+  Alcotest.(check bool) "path query acyclic" true
+    (Join_tree.is_acyclic (q "x :- E(x,y), E(y,z)"));
+  Alcotest.(check bool) "triangle not acyclic" false
+    (Join_tree.is_acyclic (q "x :- E(x,y), E(y,z), E(z,x)"));
+  Alcotest.(check bool) "disconnected acyclic" true
+    (Join_tree.is_acyclic (q "x :- U(y), E(z,w)"))
+
+let test_yannakakis_eval () =
+  let db = path_db 4 in
+  let q2 = q "x :- E(x,y), E(y,z)" in
+  Alcotest.(check (list string))
+    "matches hom search"
+    (List.map Elem.to_string (List.sort Elem.compare (Cq.eval q2 db)))
+    (List.map Elem.to_string (List.sort Elem.compare (Join_tree.eval q2 db)))
+
+let test_decomposition_witness () =
+  let tri = q "x :- E(a,b), E(b,c), E(c,a)" in
+  (match Cq_decomp.decomposition tri ~k:1 with
+  | Some _ -> Alcotest.fail "triangle has no width-1 decomposition"
+  | None -> ());
+  match Cq_decomp.decomposition tri ~k:2 with
+  | None -> Alcotest.fail "triangle has width 2"
+  | Some forest ->
+      Alcotest.(check bool) "valid decomposition" true
+        (Cq_decomp.check_decomposition tri ~k:2 forest)
+
+let prop_decomposition_always_valid =
+  QCheck.Test.make ~name:"extracted decompositions verify" ~count:30
+    (QCheck.int_range 0 5000)
+    (fun qi ->
+      let qs = Lazy.force all_test_queries in
+      let qq = List.nth qs (qi mod List.length qs) in
+      match Cq_decomp.decomposition qq ~k:1 with
+      | Some forest -> Cq_decomp.check_decomposition qq ~k:1 forest
+      | None -> Cq_decomp.ghw qq > 1)
+
+let test_engine_planning () =
+  let plan_name qq = Eval_engine.plan_kind_name (Eval_engine.plan qq) in
+  Alcotest.(check string) "path planned acyclic" "yannakakis"
+    (plan_name (q "x :- E(x,y), E(y,z)"));
+  Alcotest.(check string) "triangle planned decomposed" "ghw-decomposition"
+    (plan_name (q "x :- E(a,b), E(b,c), E(c,a)"))
+
+let prop_engine_selects_agrees =
+  QCheck.Test.make ~name:"Eval_engine.selects = Cq.selects" ~count:30
+    (QCheck.pair (spec_arb ~max_nodes:4 ~max_edges:5) (QCheck.int_range 0 5000))
+    (fun (s, qi) ->
+      let db = db_of_spec s in
+      QCheck.assume (Db.entities db <> []);
+      let qs = Lazy.force all_test_queries in
+      let qq = List.nth qs (qi mod List.length qs) in
+      List.for_all
+        (fun e -> Eval_engine.selects qq db e = Cq.selects qq db e)
+        (Db.entities db))
+
+let test_parse_errors () =
+  let bad s =
+    match Cq_parse.parse s with
+    | exception Cq_parse.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  bad "";
+  bad "x :- E(x";
+  bad "x : E(x,y)";
+  bad "x :- E(x,y) E(y,z)";
+  bad ":- E(x,y)"
+
+let () =
+  Alcotest.run "cq"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "path" `Quick test_eval_path;
+          Alcotest.test_case "empty body" `Quick test_eval_empty_body;
+          Alcotest.test_case "disconnected" `Quick test_eval_disconnected;
+          Alcotest.test_case "entity required" `Quick test_selects_requires_entity;
+          Alcotest.test_case "counting" `Quick test_counting;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "paths" `Quick test_containment;
+          Alcotest.test_case "folding" `Quick test_containment_fold;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "redundant atom" `Quick test_core_redundant_atom;
+          Alcotest.test_case "keeps needed" `Quick test_core_keeps_needed;
+          qcheck prop_core_equivalent;
+          qcheck prop_core_idempotent;
+        ] );
+      ( "conjoin",
+        [
+          Alcotest.test_case "conjoin_all" `Quick test_conjoin_all;
+          qcheck prop_conjoin_semantics;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "iso canonical" `Quick test_iso_canonical;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "counts unary" `Quick test_enum_counts_unary;
+          Alcotest.test_case "counts binary" `Quick test_enum_counts_binary;
+          Alcotest.test_case "var occurrences" `Quick test_enum_var_occurrence_restriction;
+          Alcotest.test_case "disconnected atoms" `Quick test_enum_contains_disconnected;
+          Alcotest.test_case "dedupe equivalent" `Quick test_dedupe_equivalent;
+          qcheck prop_enum_within_bounds;
+        ] );
+      ( "decomposition",
+        [
+          Alcotest.test_case "ghw values" `Quick test_ghw_values;
+          Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+          Alcotest.test_case "witness extraction" `Quick test_decomposition_witness;
+          qcheck prop_ghw_monotone;
+          qcheck prop_decomposition_always_valid;
+        ] );
+      ( "evaluation engines",
+        [
+          Alcotest.test_case "join tree shapes" `Quick test_join_tree_shapes;
+          Alcotest.test_case "yannakakis" `Quick test_yannakakis_eval;
+          Alcotest.test_case "planning" `Quick test_engine_planning;
+          qcheck prop_engines_agree;
+          qcheck prop_engine_selects_agrees;
+        ] );
+    ]

@@ -1,0 +1,422 @@
+(* Tests for structure isomorphism, FO separability and the dimension
+   properties of Section 8. *)
+
+open Test_util
+
+let edge a b = ("E", [ sym a; sym b ])
+
+let path pfx n =
+  Db.of_list
+    (List.init n (fun i ->
+         edge (Printf.sprintf "%s%d" pfx i) (Printf.sprintf "%s%d" pfx (i + 1))))
+
+let cycle pfx n =
+  Db.of_list
+    (List.init n (fun i ->
+         edge (Printf.sprintf "%s%d" pfx i) (Printf.sprintf "%s%d" pfx ((i + 1) mod n))))
+
+(* --- isomorphism ------------------------------------------------------ *)
+
+let test_iso_basic () =
+  check bool_c "path ≅ path" true (Struct_iso.isomorphic (path "a" 3) (path "b" 3));
+  check bool_c "path3 ≇ path4" false
+    (Struct_iso.isomorphic (path "a" 3) (path "b" 4));
+  check bool_c "path ≇ cycle" false
+    (Struct_iso.isomorphic (path "a" 3) (cycle "b" 4));
+  check bool_c "cycle ≅ cycle" true
+    (Struct_iso.isomorphic (cycle "a" 5) (cycle "b" 5))
+
+let test_iso_pointed () =
+  let p = path "v" 3 in
+  check bool_c "same point" true
+    (Struct_iso.isomorphic_pointed (p, [ sym "v1" ]) (p, [ sym "v1" ]));
+  check bool_c "different orbit" false
+    (Struct_iso.isomorphic_pointed (p, [ sym "v0" ]) (p, [ sym "v1" ]));
+  let c = cycle "c" 4 in
+  check bool_c "cycle transitive" true
+    (Struct_iso.isomorphic_pointed (c, [ sym "c0" ]) (c, [ sym "c2" ]))
+
+let test_iso_multiset_trap () =
+  (* same degree sequences, non-isomorphic: C6 vs two C3s *)
+  let c6 = cycle "a" 6 in
+  let c33 = Db.union (cycle "b" 3) (cycle "d" 3) in
+  check bool_c "C6 ≇ C3+C3" false (Struct_iso.isomorphic c6 c33)
+
+let test_find_isomorphism_witness () =
+  let a = cycle "a" 4 and b = cycle "b" 4 in
+  match Struct_iso.find_isomorphism a b with
+  | None -> Alcotest.fail "isomorphism must exist"
+  | Some h ->
+      check bool_c "witness is hom" true (Hom.is_hom h ~src:a ~dst:b);
+      let image = Elem.Map.fold (fun _ v acc -> Elem.Set.add v acc) h Elem.Set.empty in
+      check int_c "bijective" 4 (Elem.Set.cardinal image)
+
+let prop_iso_reflexive =
+  QCheck.Test.make ~name:"D ≅ D" ~count:50 (spec_arb ~max_nodes:4 ~max_edges:5)
+    (fun s ->
+      let d = db_of_spec s in
+      Struct_iso.isomorphic d d)
+
+let prop_iso_respects_renaming =
+  QCheck.Test.make ~name:"D ≅ rename(D)" ~count:50
+    (spec_arb ~max_nodes:4 ~max_edges:5) (fun s ->
+      let d = db_of_spec s in
+      let d' = Db.map_elems (fun e -> Elem.tup [ e ]) d in
+      Struct_iso.isomorphic d d')
+
+let prop_iso_implies_hom_equiv =
+  QCheck.Test.make ~name:"iso implies hom-equivalence" ~count:40
+    (QCheck.pair (spec_arb ~max_nodes:3 ~max_edges:4)
+       (spec_arb ~max_nodes:3 ~max_edges:4))
+    (fun (sa, sb) ->
+      let a = db_of_spec sa and b = db_of_spec sb in
+      QCheck.assume (Struct_iso.isomorphic a b);
+      Hom.exists ~src:a ~dst:b () && Hom.exists ~src:b ~dst:a ())
+
+(* --- FO separability -------------------------------------------------- *)
+
+let test_fo_separable () =
+  let t = Families.two_path_gadget 3 in
+  check bool_c "two paths FO-separable" true (Fo_sep.fo_separable t);
+  (* two entities with isomorphic pointed structures, opposite labels *)
+  let db = Db.union (path "a" 2) (path "b" 2) in
+  let db = Db.add_entity (sym "a0") (Db.add_entity (sym "b0") db) in
+  let t2 =
+    Labeling.training db
+      (Labeling.of_list
+         [ (sym "a0", Labeling.Pos); (sym "b0", Labeling.Neg) ])
+  in
+  check bool_c "isomorphic pair not FO-separable" false (Fo_sep.fo_separable t2);
+  match Fo_sep.fo_inseparable_witness t2 with
+  | Some (e, e') ->
+      check bool_c "witness pair" true
+        (Struct_iso.isomorphic_pointed (db, [ e ]) (db, [ e' ]))
+  | None -> Alcotest.fail "witness expected"
+
+let test_fo_finer_than_cq () =
+  (* hom-equivalent but non-isomorphic pointed dbs: a 1-cycle entity vs
+     a 2-cycle entity over symmetric reachability... simplest: entity
+     with self-loop vs entity on a 2-cycle of mutually looping... use
+     loop vs double loop chain: E(a,a) and E(b,c),E(c,b): hom-equiv
+     (both fold to the loop? 2-cycle -> loop and loop -> 2-cycle? loop
+     maps to... E(a,a) -> needs E(h a, h a): no self loop in the
+     2-cycle: NOT hom-equiv.) Use instead: path1 entity vs path2
+     entity pointed at starts: p1 -> p2 pointed? E(x,y) into
+     E(u,v),E(v,w) pointed x->u fine; p2 -> p1 pointed start:
+     v0v1v2 -> u0u1: fold? u0->u1, then v1 -> u1, v2 -> needs E(u1,?):
+     none. Not equiv either. Settle for: CQ-separability differs from
+     FO-separability on loop vs 2-cycle entities — FO separates (non-
+     isomorphic), CQ also separates (not hom-equivalent): both true;
+     assert FO refines CQ on random data instead. *)
+  ()
+
+let prop_fo_refines_cq =
+  QCheck.Test.make ~name:"CQ-separable implies FO-separable" ~count:40
+    (labeled_spec_arb ~max_nodes:4 ~max_edges:5) (fun ls ->
+      let t = training_of_labeled ls in
+      QCheck.assume (Fo_sep.epfo_separable t);
+      Fo_sep.fo_separable t)
+
+let test_fo_classify () =
+  let t = Families.two_path_gadget 3 in
+  (* evaluation db isomorphic to training: same labels *)
+  let eval_db = Db.map_elems (fun e -> Elem.tup [ e ]) t.Labeling.db in
+  let lab = Fo_sep.fo_classify t eval_db in
+  List.iter
+    (fun (e, l) ->
+      let e' = Elem.tup [ e ] in
+      check bool_c "label copied" true
+        (Labeling.label_equal l (Labeling.get e' lab)))
+    (Labeling.bindings t.Labeling.labeling);
+  (* an unseen entity (fresh shape) defaults to Neg *)
+  let fresh = Db.add_entity (sym "zzz") eval_db in
+  let lab2 = Fo_sep.fo_classify t fresh in
+  check bool_c "fresh class Neg" true
+    (Labeling.label_equal Labeling.Neg (Labeling.get (sym "zzz") lab2))
+
+let test_epfo_is_cq () =
+  let t = Families.example_62 () in
+  check bool_c "∃FO+ = CQ separability" (Cq_sep.separable t)
+    (Fo_sep.epfo_separable t)
+
+let test_iso_classes () =
+  let t = Families.alternating_labels (Families.cycle 4) in
+  (* all cycle vertices isomorphic: one class *)
+  Alcotest.(check int) "one class" 1 (List.length (Fo_sep.iso_classes t))
+
+(* --- dimension properties --------------------------------------------- *)
+
+let chain_queries = lazy (Cq_enum.feature_queries ~schema:[ ("E", 2) ] ~max_atoms:2 ())
+
+let test_linear_family () =
+  let db = Families.linear_chain 6 in
+  let queries = Lazy.force chain_queries in
+  check bool_c "chain family is linear" true
+    (Fo_dimension.family_is_linear ~queries ~db);
+  check bool_c "length grows" true
+    (Fo_dimension.chain_length ~queries ~db
+     > Fo_dimension.chain_length ~queries ~db:(Families.linear_chain 3))
+
+let test_collapse_counterexample () =
+  (* Example 6.2's database: {R(D)} = {a}, {S(D)} = {a,c};
+     complement of R = {b,c}; S ∩ compl R = {c} is not realizable. *)
+  let t = Families.example_62 () in
+  let queries =
+    Cq_enum.feature_queries ~schema:[ ("R", 1); ("S", 1) ] ~max_atoms:1 ()
+  in
+  match Fo_dimension.collapse_counterexample ~queries ~db:t.Labeling.db with
+  | Some _ -> ()
+  | None -> Alcotest.fail "CQ must violate the Thm 8.4 closure condition"
+
+let test_indicator_family () =
+  let t = Families.example_62 () in
+  let queries =
+    Cq_enum.feature_queries ~schema:[ ("R", 1); ("S", 1) ] ~max_atoms:1 ()
+  in
+  let fam = Fo_dimension.indicator_family ~queries ~db:t.Labeling.db in
+  (* on Example 6.2's database the family is the chain
+     {a} ⊆ {a,c} ⊆ {a,b,c} *)
+  check bool_c "at least 3 sets" true (List.length fam >= 3);
+  check bool_c "linear here" true
+    (Fo_dimension.family_is_linear ~queries ~db:t.Labeling.db);
+  (* incomparable indicator sets break linearity: R(a), T(b) give
+     {a} vs {b} *)
+  let db2 =
+    Db.add_entity (sym "a")
+      (Db.add_entity (sym "b")
+         (Db.of_list [ ("R", [ sym "a" ]); ("T", [ sym "b" ]) ]))
+  in
+  let queries2 =
+    Cq_enum.feature_queries ~schema:[ ("R", 1); ("T", 1) ] ~max_atoms:1 ()
+  in
+  check bool_c "not linear" false
+    (Fo_dimension.family_is_linear ~queries:queries2 ~db:db2)
+
+(* --- k-pebble game ----------------------------------------------------- *)
+
+let test_pebble_basics () =
+  let p3 = path "a" 3 and p3' = path "b" 3 in
+  check bool_c "isomorphic structures equivalent at any k" true
+    (Pebble_game.equivalent ~k:2 (p3, []) (p3', []));
+  (* directed paths of different lengths: 2 variables suffice to count
+     the length of the unique out-path from the start *)
+  let p2 = path "c" 2 in
+  check bool_c "P3 vs P2 differ at k=2" false
+    (Pebble_game.equivalent ~k:2 (p3, []) (p2, []));
+  (* pinned: start vs middle of a path *)
+  check bool_c "start vs middle differ" false
+    (Pebble_game.equivalent ~k:2 (p3, [ sym "a0" ]) (p3, [ sym "a1" ]))
+
+let test_pebble_classic_cycles () =
+  (* Classic: large directed cycles are FO_2-equivalent but
+     distinguishable with 3 variables... for directed cycles even 2
+     pebbles walk around and compare lengths? On directed cycles every
+     vertex has out-degree 1, so 2-pebble spoiler walking both pebbles
+     can measure return times: C4 vs C5 should differ at k=2? They
+     are NOT isomorphic; with enough pebbles (k >= 4) the difference
+     is certain: *)
+  let c4 = cycle "a" 4 and c5 = cycle "b" 5 in
+  check bool_c "C4 vs C5 differ at k=4" false
+    (Pebble_game.equivalent ~k:4 (c4, []) (c5, []));
+  check bool_c "C4 equivalent to itself" true
+    (Pebble_game.equivalent ~k:3 (c4, []) (cycle "d" 4, []))
+
+let prop_pebble_monotone_in_k =
+  QCheck.Test.make ~name:"FO_{k+1}-equiv implies FO_k-equiv" ~count:20
+    (QCheck.pair (spec_arb ~max_nodes:3 ~max_edges:4)
+       (spec_arb ~max_nodes:3 ~max_edges:4))
+    (fun (sa, sb) ->
+      let a = db_of_spec sa and b = db_of_spec sb in
+      (not (Pebble_game.equivalent ~k:2 (a, []) (b, [])))
+      || Pebble_game.equivalent ~k:1 (a, []) (b, []))
+
+let prop_pebble_iso_implies_equiv =
+  QCheck.Test.make ~name:"isomorphic implies FO_k-equivalent" ~count:20
+    (spec_arb ~max_nodes:4 ~max_edges:5)
+    (fun s ->
+      let d = db_of_spec s in
+      let d' = Db.map_elems (fun e -> Elem.tup [ e ]) d in
+      Pebble_game.equivalent ~k:2 (d, []) (d', []))
+
+let prop_pebble_limit_is_iso =
+  QCheck.Test.make ~name:"FO_k-equiv = iso when k = |dom| (same sizes)"
+    ~count:20
+    (QCheck.pair (spec_arb ~max_nodes:3 ~max_edges:3)
+       (spec_arb ~max_nodes:3 ~max_edges:3))
+    (fun (sa, sb) ->
+      let a = db_of_spec sa and b = db_of_spec sb in
+      QCheck.assume (Db.domain_size a = Db.domain_size b);
+      let k = max 1 (Db.domain_size a) in
+      Pebble_game.equivalent ~k (a, []) (b, []) = Struct_iso.isomorphic a b)
+
+(* FO_k-separability is monotone in k and below full FO. (Note that
+   CQ-separability does NOT imply FO_2-separability: a triangle
+   distinguisher is a CQ but needs three variables.) *)
+let prop_fok_sep_hierarchy =
+  QCheck.Test.make ~name:"FO_k-sep monotone in k and implies FO-sep"
+    ~count:15 (labeled_spec_arb ~max_nodes:4 ~max_edges:4) (fun ls ->
+      let t = training_of_labeled ls in
+      let f2 = Pebble_game.fok_separable ~k:2 t in
+      let f3 = Pebble_game.fok_separable ~k:3 t in
+      ((not f2) || f3) && ((not f3) || Fo_sep.fo_separable t))
+
+let test_fok_classify () =
+  let t = Families.two_path_gadget 2 in
+  let eval_db = Db.map_elems (fun e -> Elem.tup [ e ]) t.Labeling.db in
+  let lab = Pebble_game.fok_classify ~k:2 t eval_db in
+  List.iter
+    (fun (e, l) ->
+      check bool_c "label transferred" true
+        (Labeling.label_equal l (Labeling.get (Elem.tup [ e ]) lab)))
+    (Labeling.bindings t.Labeling.labeling)
+
+(* --- FO formulas and constructive generation --------------------------- *)
+
+let test_formula_eval_basics () =
+  let db =
+    Db.add_entity (sym "a")
+      (Db.add_entity (sym "b") (Db.of_list [ ("E", [ sym "a"; sym "b" ]) ]))
+  in
+  let x = Cq.default_free and y = sym "yv" in
+  let has_succ = Fo_formula.Exists (y, Fo_formula.Atom (Fact.make_l "E" [ x; y ])) in
+  check bool_c "a has successor" true
+    (Fo_formula.selects db ~free:x has_succ (sym "a"));
+  check bool_c "b has no successor" false
+    (Fo_formula.selects db ~free:x has_succ (sym "b"));
+  (* negation: FO can say what CQs cannot *)
+  let no_succ = Fo_formula.Not has_succ in
+  check bool_c "b selected by negation" true
+    (Fo_formula.selects db ~free:x no_succ (sym "b"));
+  (* forall over active domain *)
+  let all_self = Fo_formula.Forall (y, Fo_formula.Eq (y, y)) in
+  check bool_c "trivial forall" true
+    (Fo_formula.selects db ~free:x all_self (sym "a"))
+
+let test_formula_of_cq () =
+  let q2 = Cq_parse.parse "x :- E(x,y), E(y,z)" in
+  let phi = Fo_formula.of_cq q2 in
+  let db = Families.path 4 in
+  let by_cq = List.sort Elem.compare (Cq.eval q2 db) in
+  let by_fo =
+    List.sort Elem.compare
+      (Fo_formula.eval_unary db ~free:(Cq.free q2) phi)
+  in
+  Alcotest.(check (list string))
+    "of_cq preserves semantics"
+    (List.map Elem.to_string by_cq)
+    (List.map Elem.to_string by_fo)
+
+let prop_formula_quantifier_duality =
+  QCheck.Test.make ~name:"¬∀ = ∃¬ on random structures" ~count:30
+    (spec_arb ~max_nodes:4 ~max_edges:5)
+    (fun s ->
+      let db = db_of_spec s in
+      QCheck.assume (Db.domain_size db > 0);
+      let y = sym "yv" in
+      let inner = Fo_formula.Atom (Fact.make_l "U" [ y ]) in
+      let lhs = Fo_formula.Not (Fo_formula.Forall (y, inner)) in
+      let rhs = Fo_formula.Exists (y, Fo_formula.Not inner) in
+      Fo_formula.eval db ~env:Elem.Map.empty lhs
+      = Fo_formula.eval db ~env:Elem.Map.empty rhs)
+
+let test_diagram_formula () =
+  let t = Families.two_path_gadget 2 in
+  let db = t.Labeling.db in
+  let s1 = sym "p1_0" in
+  let phi = Fo_generate.diagram_formula (db, s1) in
+  (* selects s1 in its own database, and nothing non-isomorphic *)
+  List.iter
+    (fun e ->
+      check bool_c
+        (Printf.sprintf "diagram at %s" (Elem.to_string e))
+        (Struct_iso.isomorphic_pointed (db, [ e ]) (db, [ s1 ]))
+        (Fo_formula.selects db ~free:Cq.default_free phi e))
+    (Db.entities db);
+  (* on an isomorphic copy it still fires *)
+  let copy = Db.map_elems (fun e -> Elem.tup [ e ]) db in
+  check bool_c "fires on isomorphic copy" true
+    (Fo_formula.selects copy ~free:Cq.default_free phi (Elem.tup [ s1 ]));
+  (* a structurally different database does not satisfy it *)
+  let other = Families.path 3 in
+  List.iter
+    (fun e ->
+      check bool_c "silent on different structure" false
+        (Fo_formula.selects other ~free:Cq.default_free phi e))
+    (Db.entities other)
+
+let test_fo_generate_separates () =
+  let t = Families.two_path_gadget 2 in
+  match Fo_generate.generate t with
+  | None -> Alcotest.fail "FO-separable training must generate"
+  | Some phi ->
+      let selected =
+        Elem.Set.of_list
+          (Fo_formula.eval_unary t.Labeling.db ~free:Cq.default_free phi)
+      in
+      List.iter
+        (fun (e, l) ->
+          check bool_c "single feature separates"
+            (Labeling.label_equal l Labeling.Pos)
+            (Elem.Set.mem e selected))
+        (Labeling.bindings t.Labeling.labeling)
+
+let prop_fo_classify_agreement =
+  QCheck.Test.make
+    ~name:"formula classification = iso classification" ~count:10
+    (labeled_spec_arb ~max_nodes:3 ~max_edges:3) (fun ls ->
+      let t = training_of_labeled ls in
+      QCheck.assume (Fo_sep.fo_separable t);
+      (* classify an isomorphic copy both ways *)
+      let eval_db = Db.map_elems (fun e -> Elem.tup [ e ]) t.Labeling.db in
+      let by_formula = Fo_generate.classify_with_formula t eval_db in
+      let by_iso = Fo_sep.fo_classify t eval_db in
+      Labeling.equal by_formula by_iso)
+
+let () =
+  Alcotest.run "folang"
+    [
+      ( "iso",
+        [
+          Alcotest.test_case "basic" `Quick test_iso_basic;
+          Alcotest.test_case "pointed" `Quick test_iso_pointed;
+          Alcotest.test_case "degree trap" `Quick test_iso_multiset_trap;
+          Alcotest.test_case "witness" `Quick test_find_isomorphism_witness;
+          qcheck prop_iso_reflexive;
+          qcheck prop_iso_respects_renaming;
+          qcheck prop_iso_implies_hom_equiv;
+        ] );
+      ( "fo-sep",
+        [
+          Alcotest.test_case "separable" `Quick test_fo_separable;
+          Alcotest.test_case "classify" `Quick test_fo_classify;
+          Alcotest.test_case "epfo = cq" `Quick test_epfo_is_cq;
+          Alcotest.test_case "iso classes" `Quick test_iso_classes;
+          Alcotest.test_case "finer than cq (doc)" `Quick test_fo_finer_than_cq;
+          qcheck prop_fo_refines_cq;
+        ] );
+      ( "pebble",
+        [
+          Alcotest.test_case "basics" `Quick test_pebble_basics;
+          Alcotest.test_case "cycles" `Quick test_pebble_classic_cycles;
+          Alcotest.test_case "classify" `Quick test_fok_classify;
+          qcheck prop_pebble_monotone_in_k;
+          qcheck prop_pebble_iso_implies_equiv;
+          qcheck prop_pebble_limit_is_iso;
+          qcheck prop_fok_sep_hierarchy;
+        ] );
+      ( "formulas",
+        [
+          Alcotest.test_case "eval basics" `Quick test_formula_eval_basics;
+          Alcotest.test_case "of_cq" `Quick test_formula_of_cq;
+          Alcotest.test_case "diagram formula" `Quick test_diagram_formula;
+          Alcotest.test_case "generation separates" `Quick test_fo_generate_separates;
+          qcheck prop_formula_quantifier_duality;
+          qcheck prop_fo_classify_agreement;
+        ] );
+      ( "dimension",
+        [
+          Alcotest.test_case "linear family" `Quick test_linear_family;
+          Alcotest.test_case "collapse counterexample" `Quick test_collapse_counterexample;
+          Alcotest.test_case "indicator family" `Quick test_indicator_family;
+        ] );
+    ]

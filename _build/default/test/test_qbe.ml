@@ -1,0 +1,177 @@
+(* Tests for query-by-example. *)
+
+open Test_util
+
+let edge a b = ("E", [ sym a; sym b ])
+let un r a = (r, [ sym a ])
+
+let with_entities db = Elem.Set.fold Db.add_entity (Db.domain db) db
+
+let test_unary_positive () =
+  let db = with_entities (Db.of_list [ un "R" "a"; un "S" "a"; un "S" "c" ]) in
+  let inst = Qbe.make db ~pos:[ sym "a" ] ~neg:[ sym "c" ] in
+  check bool_c "decide" true (Qbe.cq_decide inst);
+  (match Qbe.cq_explanation inst with
+  | Some q -> check bool_c "explains" true (Qbe.is_explanation inst q)
+  | None -> Alcotest.fail "explanation expected");
+  (* b (no facts) cannot be separated from everything *)
+  let inst2 = Qbe.make db ~pos:[ sym "c" ] ~neg:[ sym "a" ] in
+  check bool_c "c vs a impossible" false (Qbe.cq_decide inst2)
+
+let test_multi_positive_product () =
+  (* a has R and S; c has S only; pos {a,c} forces the explanation to
+     use S only, which excludes nothing -> neg {b} with no facts means
+     explanation must not select b: S(x) works. *)
+  let db = with_entities (Db.of_list [ un "R" "a"; un "S" "a"; un "S" "c" ]) in
+  let b = sym "b" in
+  let db = Db.add_entity b db in
+  let inst = Qbe.make db ~pos:[ sym "a"; sym "c" ] ~neg:[ b ] in
+  check bool_c "S(x) explains {a,c} vs b" true (Qbe.cq_decide inst);
+  match Qbe.cq_explanation ~minimize:true inst with
+  | Some q ->
+      check bool_c "explains" true (Qbe.is_explanation inst q);
+      (* the core keeps S(x) plus the disconnected witness
+         eta(y),R(y),S(y) coming from the (a,a) product element *)
+      check bool_c "small core" true (Cq.num_atoms q <= 4)
+  | None -> Alcotest.fail "explanation expected"
+
+let test_path_lengths () =
+  (* entities: starts of paths with lengths 3 and 1; explanation
+     "forward path of length >= 2" separates. *)
+  let db =
+    Db.of_list
+      [ edge "a0" "a1"; edge "a1" "a2"; edge "a2" "a3"; edge "b0" "b1" ]
+  in
+  let db = Db.add_entity (sym "a0") (Db.add_entity (sym "b0") db) in
+  let inst = Qbe.make db ~pos:[ sym "a0" ] ~neg:[ sym "b0" ] in
+  check bool_c "cq decide" true (Qbe.cq_decide inst);
+  check bool_c "ghw(1) decide" true (Qbe.ghw_decide ~k:1 inst);
+  check bool_c "cq[2] decide" true (Qbe.cqm_decide ~m:2 inst);
+  check bool_c "cq[1] cannot" false (Qbe.cqm_decide ~m:1 inst);
+  match Qbe.cqm_explanation ~m:2 inst with
+  | Some q -> check bool_c "cq[2] witness" true (Qbe.is_explanation inst q)
+  | None -> Alcotest.fail "cq[2] explanation expected"
+
+let test_ghw_vs_cq () =
+  (* Symmetric cliques K4 and K3 (distinct components of one
+     database). The entity a ∈ K4 is CQ-distinguishable from b ∈ K3
+     (K4 has no homomorphism into K3), and the distinguishing query
+     "x is on a K4" has an existential triangle, hence ghw 2. The
+     1-cover game only ever constrains three elements at a time (an
+     edge plus the pinned entity), which K3 satisfies — so GHW(1)
+     features cannot separate: exactly the GHW(1) < GHW(2) < CQ
+     hierarchy of the paper. *)
+  let clique pfx n =
+    List.concat
+      (List.init n (fun i ->
+           List.concat
+             (List.init n (fun j ->
+                  if i <> j then
+                    [ edge (Printf.sprintf "%s%d" pfx i) (Printf.sprintf "%s%d" pfx j) ]
+                  else []))))
+  in
+  let db = Db.of_list (clique "k" 4 @ clique "m" 3) in
+  let a = sym "k0" and b = sym "m0" in
+  let db = Db.add_entity a (Db.add_entity b db) in
+  let inst = Qbe.make db ~pos:[ a ] ~neg:[ b ] in
+  check bool_c "CQ separates K4 from K3" true (Qbe.cq_decide inst);
+  check bool_c "GHW(1) cannot" false (Qbe.ghw_decide ~k:1 inst);
+  check bool_c "GHW(2) can" true (Qbe.ghw_decide ~k:2 inst);
+  (* the other direction is impossible even for CQ: K3 maps into K4 *)
+  let inst2 = Qbe.make db ~pos:[ b ] ~neg:[ a ] in
+  check bool_c "K3 vs K4 not even CQ" false (Qbe.cq_decide inst2)
+
+let test_ghw_explanation () =
+  let db =
+    Db.of_list
+      [ edge "a0" "a1"; edge "a1" "a2"; edge "a2" "a3"; edge "b0" "b1" ]
+  in
+  let db = Db.add_entity (sym "a0") (Db.add_entity (sym "b0") db) in
+  let inst = Qbe.make db ~pos:[ sym "a0" ] ~neg:[ sym "b0" ] in
+  (match Qbe.ghw_explanation ~k:1 ~depth:3 inst with
+  | None -> Alcotest.fail "GHW(1) explanation exists"
+  | Some q ->
+      check bool_c "unraveling explains at depth 3" true
+        (Qbe.is_explanation inst q));
+  (* the exact width check only fits the small depth-1 unraveling
+     (the bitset-backed ghw search caps at 62 existential variables) *)
+  match Qbe.ghw_explanation ~k:1 ~depth:1 inst with
+  | None -> Alcotest.fail "explanation exists"
+  | Some q -> check bool_c "depth-1 unraveling has ghw <= 1" true
+      (Cq_decomp.ghw_le q 1)
+
+let test_validation () =
+  let db = with_entities (Db.of_list [ un "R" "a" ]) in
+  (match Qbe.make db ~pos:[] ~neg:[ sym "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty positives rejected");
+  (match Qbe.make db ~pos:[ sym "z" ] ~neg:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-entity rejected");
+  match Qbe.make db ~pos:[ sym "a" ] ~neg:[ sym "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlap rejected"
+
+(* Monotonicity: a CQ[m] explanation is a CQ explanation; a GHW(k)
+   explanation exists whenever a CQ[m] one does with small m (since
+   ghw <= atom count). *)
+let prop_qbe_monotone =
+  QCheck.Test.make ~name:"CQ[2] yes implies GHW(2) yes implies CQ yes"
+    ~count:40
+    (spec_arb ~max_nodes:4 ~max_edges:5)
+    (fun s ->
+      let db = db_of_spec s in
+      let ents = Db.entities db in
+      QCheck.assume (List.length ents >= 2);
+      let pos = [ List.nth ents 0 ] and neg = [ List.nth ents 1 ] in
+      let inst = Qbe.make db ~pos ~neg in
+      let m2 = Qbe.cqm_decide ~m:2 inst in
+      let g2 = Qbe.ghw_decide ~k:2 inst in
+      let cq = Qbe.cq_decide inst in
+      ((not m2) || g2) && ((not g2) || cq))
+
+(* With k at least the number of facts in the positive product, the
+   game equals homomorphism: GHW(k)-QBE = CQ-QBE. *)
+let prop_qbe_large_k =
+  QCheck.Test.make ~name:"GHW(k) = CQ for huge k" ~count:25
+    (spec_arb ~max_nodes:3 ~max_edges:3)
+    (fun s ->
+      let db = db_of_spec s in
+      let ents = Db.entities db in
+      QCheck.assume (List.length ents >= 2);
+      let pos = [ List.nth ents 0 ] and neg = [ List.nth ents 1 ] in
+      let inst = Qbe.make db ~pos ~neg in
+      let k = max 1 (Db.size db) in
+      Qbe.ghw_decide ~k inst = Qbe.cq_decide inst)
+
+(* The product explanation, when it exists, is verified directly. *)
+let prop_explanation_verifies =
+  QCheck.Test.make ~name:"product explanation verifies" ~count:30
+    (spec_arb ~max_nodes:3 ~max_edges:4)
+    (fun s ->
+      let db = db_of_spec s in
+      let ents = Db.entities db in
+      QCheck.assume (List.length ents >= 3);
+      let pos = [ List.nth ents 0; List.nth ents 1 ] in
+      let neg = [ List.nth ents 2 ] in
+      let inst = Qbe.make db ~pos ~neg in
+      match Qbe.cq_explanation inst with
+      | Some q -> Qbe.is_explanation inst q
+      | None -> not (Qbe.cq_decide inst))
+
+let () =
+  Alcotest.run "qbe"
+    [
+      ( "qbe",
+        [
+          Alcotest.test_case "unary" `Quick test_unary_positive;
+          Alcotest.test_case "product positives" `Quick test_multi_positive_product;
+          Alcotest.test_case "path lengths" `Quick test_path_lengths;
+          Alcotest.test_case "ghw vs cq" `Quick test_ghw_vs_cq;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "ghw explanation" `Quick test_ghw_explanation;
+          qcheck prop_qbe_monotone;
+          qcheck prop_qbe_large_k;
+          qcheck prop_explanation_verifies;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+(* Shared helpers and qcheck generators for the test suites. *)
+
+let sym = Elem.sym
+let e i = Elem.sym (Printf.sprintf "e%d" i)
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- random databases ----------------------------------------------- *)
+
+(* A small random database over a unary relation U and a binary
+   relation E, with every element an entity. Encoded as a pure value
+   (lists of indices) so qcheck can shrink it. *)
+type db_spec = {
+  nodes : int;
+  edges : (int * int) list;
+  unary : int list;
+}
+
+let db_of_spec spec =
+  let db =
+    List.fold_left
+      (fun db (a, b) -> Db.add (Fact.make_l "E" [ e a; e b ]) db)
+      Db.empty spec.edges
+  in
+  let db =
+    List.fold_left (fun db a -> Db.add (Fact.make_l "U" [ e a ]) db) db
+      spec.unary
+  in
+  let rec ents db i =
+    if i >= spec.nodes then db else ents (Db.add_entity (e i) db) (i + 1)
+  in
+  ents db 0
+
+let spec_gen ~max_nodes ~max_edges =
+  let open QCheck.Gen in
+  int_range 1 max_nodes >>= fun nodes ->
+  int_range 0 max_edges >>= fun ne ->
+  list_size (return ne)
+    (pair (int_range 0 (nodes - 1)) (int_range 0 (nodes - 1)))
+  >>= fun edges ->
+  list_size (int_range 0 nodes) (int_range 0 (nodes - 1)) >>= fun unary ->
+  return { nodes; edges; unary }
+
+let spec_print spec =
+  Printf.sprintf "{nodes=%d; edges=[%s]; unary=[%s]}" spec.nodes
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) spec.edges))
+    (String.concat ";" (List.map string_of_int spec.unary))
+
+let spec_arb ~max_nodes ~max_edges =
+  QCheck.make ~print:spec_print (spec_gen ~max_nodes ~max_edges)
+
+(* A random labeling for a spec: a bitmask over nodes. *)
+type labeled_spec = { spec : db_spec; mask : int }
+
+let labeled_spec_arb ~max_nodes ~max_edges =
+  let open QCheck.Gen in
+  let gen =
+    spec_gen ~max_nodes ~max_edges >>= fun spec ->
+    int_range 0 ((1 lsl spec.nodes) - 1) >>= fun mask ->
+    return { spec; mask }
+  in
+  QCheck.make
+    ~print:(fun { spec; mask } ->
+      Printf.sprintf "%s mask=%d" (spec_print spec) mask)
+    gen
+
+let training_of_labeled { spec; mask } =
+  let db = db_of_spec spec in
+  let labeled =
+    List.init spec.nodes (fun i ->
+        ( e i,
+          if mask land (1 lsl i) <> 0 then Labeling.Pos else Labeling.Neg ))
+  in
+  Labeling.training db (Labeling.of_list labeled)
+
+(* All labelings of a training database's entities (for brute-force
+   optimality checks). *)
+let all_labelings entities =
+  let n = List.length entities in
+  List.init (1 lsl n) (fun mask ->
+      Labeling.of_list
+        (List.mapi
+           (fun i en ->
+             ( en,
+               if mask land (1 lsl i) <> 0 then Labeling.Pos
+               else Labeling.Neg ))
+           entities))

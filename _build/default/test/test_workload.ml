@@ -1,0 +1,136 @@
+(* Tests for the synthetic workload generators. *)
+
+open Test_util
+
+let test_random_db_deterministic () =
+  let mk () =
+    Gen_db.random_db ~seed:7 ~schema:[ ("E", 2); ("U", 1) ] ~domain_size:10
+      ~facts_per_rel:15 ()
+  in
+  check bool_c "same seed same db" true (Db.equal (mk ()) (mk ()));
+  let other =
+    Gen_db.random_db ~seed:8 ~schema:[ ("E", 2); ("U", 1) ] ~domain_size:10
+      ~facts_per_rel:15 ()
+  in
+  check bool_c "different seed different db" false (Db.equal (mk ()) other)
+
+let test_random_training () =
+  let t =
+    Gen_db.random_training ~seed:3 ~schema:[ ("E", 2) ] ~domain_size:8
+      ~facts_per_rel:10 ~entities:5 ()
+  in
+  check int_c "entities" 5 (List.length (Db.entities t.Labeling.db));
+  check int_c "labels" 5 (Labeling.cardinal t.Labeling.labeling)
+
+let test_random_graph () =
+  let db = Gen_db.random_graph_db ~seed:1 ~nodes:6 ~edges:9 () in
+  check int_c "entities" 6 (List.length (Db.entities db));
+  check bool_c "has edges" true (List.length (Db.facts_of_rel "E" db) > 0)
+
+let test_families_shapes () =
+  (* 3 edges + 4 eta facts *)
+  check int_c "path facts" 7 (Db.size (Families.path 3));
+  check int_c "cycle entities" 5 (List.length (Db.entities (Families.cycle 5)));
+  let g = Families.grid 3 2 in
+  check int_c "grid entities" 6 (List.length (Db.entities g));
+  (* 2*(3-1) horizontal? H: (w-1)*h = 4; V: w*(h-1) = 3 *)
+  check int_c "grid H" 4 (List.length (Db.facts_of_rel "H" g));
+  check int_c "grid V" 3 (List.length (Db.facts_of_rel "V" g));
+  let chain = Families.linear_chain 4 in
+  check int_c "chain edges" 4 (List.length (Db.facts_of_rel "E" chain));
+  check int_c "chain entities" 4 (List.length (Db.entities chain))
+
+let test_alternating () =
+  let t = Families.alternating_labels (Families.path 3) in
+  let pos = List.length (Labeling.positives t.Labeling.labeling) in
+  let neg = List.length (Labeling.negatives t.Labeling.labeling) in
+  check int_c "balanced" 2 pos;
+  check int_c "balanced neg" 2 neg
+
+let test_new_families () =
+  let s = Families.star ~center_out:true 5 in
+  check int_c "star entities" 6 (List.length (Db.entities s));
+  check int_c "star edges" 5 (List.length (Db.facts_of_rel "E" s));
+  let t = Families.binary_tree 3 in
+  check int_c "tree entities" 15 (List.length (Db.entities t));
+  check int_c "tree edges" 14 (List.length (Db.facts_of_rel "E" t));
+  let b = Families.complete_bipartite 2 3 in
+  check int_c "bipartite edges" 6 (List.length (Db.facts_of_rel "E" b));
+  let k4 = Families.symmetric_clique 4 in
+  check int_c "K4 edges" 12 (List.length (Db.facts_of_rel "E" k4));
+  (* K4 does not map into K3, but K3 maps into K4 *)
+  let k3 = Families.symmetric_clique 3 in
+  check bool_c "K3 -> K4" true
+    (Hom.exists ~src:(Db.without_rel Db.entity_rel k3)
+       ~dst:(Db.without_rel Db.entity_rel k4) ());
+  check bool_c "K4 -/-> K3" false
+    (Hom.exists ~src:(Db.without_rel Db.entity_rel k4)
+       ~dst:(Db.without_rel Db.entity_rel k3) ())
+
+let test_copies () =
+  let t = Families.example_62 () in
+  let c = Families.copies t 3 in
+  check int_c "entity count" 9 (List.length (Db.entities c.Labeling.db));
+  (* copies are hom-equivalent: CQ-separability is preserved *)
+  check bool_c "still separable" true (Cqfeat.separable Language.Cq_all c)
+
+let test_planted () =
+  let db = Families.path 4 in
+  let q = Cq_parse.parse "x :- E(x,y), E(y,z)" in
+  let t = Planted.label_by_query db q in
+  check int_c "positives = selected" 3
+    (List.length (Labeling.positives t.Labeling.labeling));
+  (* planted labelings are separable by the planting language *)
+  check bool_c "CQ[2]-separable" true
+    (Cqfeat.separable (Language.Cq_atoms { m = 2; p = None }) t)
+
+let test_flip_labels () =
+  let t = Families.alternating_labels (Families.path 5) in
+  let t' = Planted.flip_labels ~seed:5 ~count:2 t in
+  check int_c "two flips" 2
+    (Labeling.disagreement t.Labeling.labeling t'.Labeling.labeling);
+  let again = Planted.flip_labels ~seed:5 ~count:2 t in
+  check bool_c "deterministic" true
+    (Labeling.equal t'.Labeling.labeling again.Labeling.labeling)
+
+let test_accuracy () =
+  let t = Families.alternating_labels (Families.path 3) in
+  check bool_c "self accuracy 1" true
+    (Planted.accuracy ~truth:t t.Labeling.labeling = 1.0);
+  let flipped = Planted.flip_labels ~seed:1 ~count:4 t in
+  check bool_c "all flipped accuracy 0" true
+    (Planted.accuracy ~truth:t flipped.Labeling.labeling = 0.0)
+
+let prop_flip_count_bounds =
+  QCheck.Test.make ~name:"flip count respected" ~count:40
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 0 8))
+    (fun (n, c) ->
+      let t = Families.alternating_labels (Families.path n) in
+      let t' = Planted.flip_labels ~seed:13 ~count:c t in
+      Labeling.disagreement t.Labeling.labeling t'.Labeling.labeling
+      = min c (n + 1))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_random_db_deterministic;
+          Alcotest.test_case "training" `Quick test_random_training;
+          Alcotest.test_case "graph" `Quick test_random_graph;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "shapes" `Quick test_families_shapes;
+          Alcotest.test_case "alternating" `Quick test_alternating;
+          Alcotest.test_case "copies" `Quick test_copies;
+          Alcotest.test_case "new families" `Quick test_new_families;
+        ] );
+      ( "planted",
+        [
+          Alcotest.test_case "label by query" `Quick test_planted;
+          Alcotest.test_case "flip labels" `Quick test_flip_labels;
+          Alcotest.test_case "accuracy" `Quick test_accuracy;
+          qcheck prop_flip_count_bounds;
+        ] );
+    ]
