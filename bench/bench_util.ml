@@ -5,12 +5,16 @@
 open Bechamel
 open Toolkit
 
-let cfg =
-  Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None
+let cfg_with quota =
+  Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
     ~stabilize:false ()
 
-(* Estimated nanoseconds per run. *)
-let time_ns ~name fn =
+let cfg = cfg_with 0.25
+
+(* Estimated nanoseconds per run. A larger [quota] buys tighter
+   estimates for comparisons that must resolve a few percent. *)
+let time_ns ?quota ~name fn =
+  let cfg = match quota with None -> cfg | Some q -> cfg_with q in
   let test = Test.make ~name (Staged.stage fn) in
   let elt =
     match Test.elements test with

@@ -603,6 +603,78 @@ let bench_ablate_hom_candidates () =
     [ 10; 20; 40 ]
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted runtime: cooperative fuel/deadline checks must be nearly  *)
+(* free when the budget is generous.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_guard_overhead () =
+  Bench_util.header
+    "runtime/guard_overhead — Budget.tick cost on the table1/cq_sep \
+     workload under a generous budget (target < 5%)";
+  Bench_util.row
+    [ (14, "entities"); (12, "bare"); (12, "guarded"); (12, "overhead") ];
+  Bench_util.rule ();
+  (* Non-infinite fuel and a far deadline force the ticks onto their
+     slow path (counting down + periodic clock reads). *)
+  let budget = Budget.make ~timeout:3600.0 ~fuel:1_000_000_000 () in
+  List.iter
+    (fun nodes ->
+      let t = random_graph_training ~seed:42 ~nodes ~edges:(2 * nodes) in
+      let run_bare () = ignore (Cqfeat.separable Language.Cq_all t) in
+      let run_guarded () =
+        match
+          Guard.run (Budget.refresh budget) (fun () ->
+              Cqfeat.separable Language.Cq_all t)
+        with
+        | Ok _ -> ()
+        | Error _ -> assert false
+      in
+      (* Interleaved best-of-5 with a long quota: a single bechamel
+         estimate is too noisy to resolve a few percent. *)
+      let best name fn prev =
+        Float.min prev (Bench_util.time_ns ~quota:0.5 ~name fn)
+      in
+      let bare = ref infinity and guarded = ref infinity in
+      for _ = 1 to 5 do
+        bare := best "bare" run_bare !bare;
+        guarded := best "guarded" run_guarded !guarded
+      done;
+      let bare = !bare and guarded = !guarded in
+      Bench_util.row
+        [
+          (14, string_of_int nodes);
+          (12, Bench_util.pp_ns bare);
+          (12, Bench_util.pp_ns guarded);
+          (12, Printf.sprintf "%+.1f%%" ((guarded -. bare) /. bare *. 100.));
+        ])
+    [ 4; 6; 8; 10; 12 ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1/cq_sep", bench_table1_cq_sep);
+    ("table1/cq_sep_worst", bench_table1_cq_sep_worst_case);
+    ("table1/cqm_sep", bench_table1_cqm_sep);
+    ("table1/ghw_sep", bench_table1_ghw_sep);
+    ("table1/cqm_sep_l", bench_table1_cqm_sep_l);
+    ("table1/ghw_sep_l", bench_table1_ghw_sep_l);
+    ("prop41/sweep_db", bench_prop41_sweep_db);
+    ("prop41/sweep_arity", bench_prop41_sweep_arity);
+    ("thm57/dimension", bench_thm57_dimension);
+    ("thm57/feature_size", bench_thm57_feature_size);
+    ("alg1/classify", bench_alg1_classify);
+    ("alg2/apxsep", bench_alg2_apxsep);
+    ("prop71/reduction", bench_prop71_reduction);
+    ("qbe/product_growth", bench_qbe_product_growth);
+    ("fo/sep", bench_fo_sep);
+    ("prop69/vertex_cover", bench_prop69_vertex_cover);
+    ("fok/game", bench_fok_game);
+    ("eval/engines", bench_eval_engines);
+    ("ablate/preorder", bench_ablate_preorder);
+    ("ablate/hom", bench_ablate_hom_candidates);
+    ("runtime/guard_overhead", bench_guard_overhead);
+  ]
 
 let () =
   print_endline
@@ -611,24 +683,17 @@ let () =
   print_endline
     "Each experiment regenerates the complexity/size shape of a paper \
      claim; ids match DESIGN.md.";
-  bench_table1_cq_sep ();
-  bench_table1_cq_sep_worst_case ();
-  bench_table1_cqm_sep ();
-  bench_table1_ghw_sep ();
-  bench_table1_cqm_sep_l ();
-  bench_table1_ghw_sep_l ();
-  bench_prop41_sweep_db ();
-  bench_prop41_sweep_arity ();
-  bench_thm57_dimension ();
-  bench_thm57_feature_size ();
-  bench_alg1_classify ();
-  bench_alg2_apxsep ();
-  bench_prop71_reduction ();
-  bench_qbe_product_growth ();
-  bench_fo_sep ();
-  bench_prop69_vertex_cover ();
-  bench_fok_game ();
-  bench_eval_engines ();
-  bench_ablate_preorder ();
-  bench_ablate_hom_candidates ();
+  (* BENCH_ONLY=<substring> runs the matching experiments only. *)
+  let selected =
+    match Sys.getenv_opt "BENCH_ONLY" with
+    | None -> experiments
+    | Some pat ->
+        List.filter
+          (fun (id, _) ->
+            let li = String.length id and lp = String.length pat in
+            let rec at i = i + lp <= li && (String.sub id i lp = pat || at (i + 1)) in
+            at 0)
+          experiments
+  in
+  List.iter (fun (_, bench) -> bench ()) selected;
   print_endline "\nAll experiments completed."

@@ -4,54 +4,43 @@
      R(a, b)      facts
      +a  -b  ?c   positive / negative / unlabeled entities
 
-   Subcommands: info, sep, generate, classify. *)
+   Subcommands: info, sep, generate, classify.
+
+   Exit codes: 0 separable, 1 not separable, 2 degraded answer
+   (a weaker rung of the fallback ladder answered), 3 budget
+   exhausted, 4 input or solver error. *)
 
 let read_training path =
   Textfmt.training_of_document (Textfmt.parse_file path)
 
 let read_db path = (Textfmt.parse_file path).Textfmt.db
 
+(* Input and solver errors (malformed databases, bad parameters,
+   inputs a solver rejects) all exit 4 with the message on stderr. *)
+let with_input f =
+  try f () with
+  | Textfmt.Parse_error msg ->
+      Printf.eprintf "cqsep: %s\n" msg;
+      exit 4
+  | Sys_error msg ->
+      Printf.eprintf "cqsep: %s\n" msg;
+      exit 4
+  | Invalid_argument msg ->
+      Printf.eprintf "cqsep: %s\n" msg;
+      exit 4
+
+let exit_of_failure = function
+  | Guard.Timeout | Guard.Fuel_exhausted _ | Guard.Limit_exceeded _ -> 3
+  | Guard.Solver_error _ -> 4
+
+let fail_with failure =
+  Printf.eprintf "cqsep: %s\n" (Guard.failure_to_string failure);
+  exit (exit_of_failure failure)
+
 (* --- argument converters -------------------------------------------- *)
 
 let lang_of_string s =
-  let s = String.lowercase_ascii (String.trim s) in
-  let fail () =
-    Error
-      (`Msg
-        (Printf.sprintf
-           "unknown language %S (expected cq, cq[m], cq[m,p], ghw(k), fo, \
-            foK, epfo)"
-           s))
-  in
-  if s = "cq" then Ok Language.Cq_all
-  else if s = "fo" then Ok Language.Fo
-  else if s = "epfo" then Ok Language.Epfo
-  else if String.length s > 2 && String.sub s 0 2 = "fo" then begin
-    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
-    | Some k when k >= 1 -> Ok (Language.Fo_k k)
-    | _ ->
-        Error
-          (`Msg (Printf.sprintf "bad FO_k language %S (expected e.g. fo2)" s))
-  end
-  else begin
-    try
-      if String.length s > 3 && String.sub s 0 3 = "cq[" then begin
-        let body = String.sub s 3 (String.length s - 4) in
-        match String.split_on_char ',' body with
-        | [ m ] -> Ok (Language.Cq_atoms { m = int_of_string m; p = None })
-        | [ m; p ] ->
-            Ok
-              (Language.Cq_atoms
-                 { m = int_of_string m; p = Some (int_of_string p) })
-        | _ -> fail ()
-      end
-      else if String.length s > 4 && String.sub s 0 4 = "ghw(" then begin
-        let body = String.sub s 4 (String.length s - 5) in
-        Ok (Language.Ghw (int_of_string body))
-      end
-      else fail ()
-    with _ -> fail ()
-  end
+  match Language.of_string s with Ok l -> Ok l | Error msg -> Error (`Msg msg)
 
 let lang_conv =
   let printer fmt l = Language.pp fmt l in
@@ -66,6 +55,40 @@ let rat_of_string s =
   with _ -> Error (`Msg "expected a rational like 1/4")
 
 let rat_conv = Cmdliner.Arg.conv (rat_of_string, fun fmt r -> Rat.pp fmt r)
+
+(* Durations: "500us", "250ms", "2s", or a plain number of seconds. *)
+let duration_of_string s0 =
+  let s = String.trim s0 in
+  let bad () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad duration %S (expected e.g. 500us, 250ms, 2s, or plain \
+            seconds)"
+           s0))
+  in
+  let ends_with suffix =
+    let ls = String.length s and lx = String.length suffix in
+    ls > lx && String.sub s (ls - lx) lx = suffix
+  in
+  let scaled scale suffix =
+    let num = String.sub s 0 (String.length s - String.length suffix) in
+    match float_of_string_opt (String.trim num) with
+    | Some f when f >= 0.0 -> Ok (f *. scale)
+    | _ -> bad ()
+  in
+  if s = "" then bad ()
+  else if ends_with "us" then scaled 1e-6 "us"
+  else if ends_with "ms" then scaled 1e-3 "ms"
+  else if ends_with "s" then scaled 1.0 "s"
+  else
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 -> Ok f
+    | _ -> bad ()
+
+let duration_conv =
+  Cmdliner.Arg.conv
+    (duration_of_string, fun fmt secs -> Format.fprintf fmt "%gs" secs)
 
 open Cmdliner
 
@@ -107,6 +130,58 @@ let depth_arg =
     & info [ "ghw-depth" ] ~docv:"N"
         ~doc:"Unraveling depth for GHW feature generation (default 2).")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some duration_conv) None
+    & info [ "timeout" ] ~docv:"DURATION"
+        ~doc:
+          "Wall-clock budget, e.g. 500us, 250ms, 2s, or plain seconds. \
+           When exceeded the answer degrades (sep) or the command exits \
+           3.")
+
+let fuel_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "fuel must be >= 1 (got %d)" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some fuel_conv) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Abstract solver-step budget. When exhausted the answer \
+           degrades (sep) or the command exits 3.")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "Disable the graceful-degradation ladder: on budget \
+           exhaustion exit 3 instead of retrying with weaker feature \
+           languages.")
+
+(* [budget_of] is [None] when no limit was requested, so unbudgeted
+   runs keep the zero-overhead fast path. *)
+let budget_of ~timeout ~fuel =
+  match (timeout, fuel) with
+  | None, None -> None
+  | _ -> Some (Budget.make ?timeout ?fuel ())
+
+(* Run [f] under the optional budget, exiting 3/4 on failure. *)
+let guarded budget f =
+  match budget with
+  | None -> f ()
+  | Some b -> begin
+      match Guard.run b f with Ok v -> v | Error failure -> fail_with failure
+    end
+
 let train_arg =
   Arg.(
     required
@@ -117,6 +192,7 @@ let train_arg =
 
 let info_cmd =
   let run path =
+    with_input @@ fun () ->
     let doc = Textfmt.parse_file path in
     let db = doc.Textfmt.db in
     Printf.printf "facts:     %d\n" (Db.size db);
@@ -137,26 +213,54 @@ let info_cmd =
     Term.(const run $ train_arg)
 
 let sep_cmd =
-  let run path lang dim eps verbose =
+  let run path lang dim eps timeout fuel no_degrade verbose =
+    with_input @@ fun () ->
     setup_logs verbose;
     let t = read_training path in
-    let answer =
-      match eps with
-      | None -> Cqfeat.separable ?dim lang t
-      | Some eps -> Cqfeat.apx_separable ?dim ~eps lang t
+    let budget = budget_of ~timeout ~fuel in
+    let describe =
+      Printf.sprintf "%s%s%s" (Language.to_string lang)
+        (match dim with Some d -> Printf.sprintf " dim<=%d" d | None -> "")
+        (match eps with
+        | Some e -> Printf.sprintf " eps=%s" (Rat.to_string e)
+        | None -> "")
     in
-    Printf.printf "%s%s%s-separable: %b\n" (Language.to_string lang)
-      (match dim with Some d -> Printf.sprintf " dim<=%d" d | None -> "")
-      (match eps with
-      | Some e -> Printf.sprintf " eps=%s" (Rat.to_string e)
-      | None -> "")
-      answer;
-    if answer then exit 0 else exit 1
+    match (budget, dim, eps, (lang : Language.t)) with
+    | Some _, None, None, (Language.Cq_all | Language.Epfo) ->
+        (* The graceful-degradation ladder: exact CQ-Sep, then CQ[m]
+           with decreasing m, then approximate separability with
+           reported slack. *)
+        let result =
+          Cq_sep.decide_with_fallback ?budget ~degrade:(not no_degrade) t
+        in
+        begin
+          match (result.Cq_sep.answer, result.Cq_sep.provenance) with
+          | Some answer, Cq_sep.Exact ->
+              Printf.printf "%s-separable: %b\n" describe answer;
+              exit (if answer then 0 else 1)
+          | Some answer, provenance ->
+              Printf.printf "%s-separable: %b (%s)\n" describe answer
+                (Format.asprintf "%a" Cq_sep.pp_provenance provenance);
+              exit 2
+          | None, Cq_sep.Gave_up failure -> fail_with failure
+          | None, _ -> assert false
+        end
+    | _ ->
+        let answer =
+          guarded budget (fun () ->
+              match eps with
+              | None -> Cqfeat.separable ?dim lang t
+              | Some eps -> Cqfeat.apx_separable ?dim ~eps lang t)
+        in
+        Printf.printf "%s-separable: %b\n" describe answer;
+        exit (if answer then 0 else 1)
   in
   Cmd.v
     (Cmd.info "sep"
        ~doc:"Decide separability of a labeled training database.")
-    Term.(const run $ train_arg $ lang_arg $ dim_arg $ eps_arg $ verbose_arg)
+    Term.(
+      const run $ train_arg $ lang_arg $ dim_arg $ eps_arg $ timeout_arg
+      $ fuel_arg $ no_degrade_arg $ verbose_arg)
 
 let out_arg =
   Arg.(
@@ -166,9 +270,12 @@ let out_arg =
         ~doc:"Also save the generated model to FILE (see the apply command).")
 
 let generate_cmd =
-  let run path lang depth dim out =
+  let run path lang depth dim timeout fuel out =
+    with_input @@ fun () ->
     let t = read_training path in
-    match Cqfeat.generate ~ghw_depth:depth ?dim lang t with
+    let budget = budget_of ~timeout ~fuel in
+    match guarded budget (fun () -> Cqfeat.generate ~ghw_depth:depth ?dim lang t)
+    with
     | None ->
         print_endline "not separable: no statistic exists";
         exit 1
@@ -192,7 +299,9 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate a separating statistic and linear classifier.")
-    Term.(const run $ train_arg $ lang_arg $ depth_arg $ dim_arg $ out_arg)
+    Term.(
+      const run $ train_arg $ lang_arg $ depth_arg $ dim_arg $ timeout_arg
+      $ fuel_arg $ out_arg)
 
 let apply_cmd =
   let model_arg =
@@ -208,12 +317,12 @@ let apply_cmd =
       & info [] ~docv:"DB" ~doc:"Database whose entities to label.")
   in
   let run model_path db_path =
+    with_input @@ fun () ->
     let model = Model_io.load model_path in
     let db = read_db db_path in
     List.iter
       (fun (e, l) ->
-        Printf.printf "%s%s
-"
+        Printf.printf "%s%s\n"
           (match l with Labeling.Pos -> "+" | Labeling.Neg -> "-")
           (Elem.to_string e))
       (Labeling.bindings (Model_io.apply model db))
@@ -230,9 +339,11 @@ let mindim_cmd =
       & opt (some int) None
       & info [ "max" ] ~docv:"N" ~doc:"Search dimensions up to N.")
   in
-  let run path lang max_dim =
+  let run path lang max_dim timeout fuel =
+    with_input @@ fun () ->
     let t = read_training path in
-    match Cqfeat.min_dimension ?max_dim lang t with
+    let budget = budget_of ~timeout ~fuel in
+    match guarded budget (fun () -> Cqfeat.min_dimension ?max_dim lang t) with
     | Some d ->
         Printf.printf "minimum %s dimension: %d\n" (Language.to_string lang) d
     | None ->
@@ -242,7 +353,8 @@ let mindim_cmd =
   Cmd.v
     (Cmd.info "mindim"
        ~doc:"Find the least statistic dimension that separates.")
-    Term.(const run $ train_arg $ lang_arg $ max_arg)
+    Term.(
+      const run $ train_arg $ lang_arg $ max_arg $ timeout_arg $ fuel_arg)
 
 let classify_cmd =
   let eval_arg =
@@ -251,13 +363,16 @@ let classify_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"EVAL" ~doc:"Evaluation database file.")
   in
-  let run train_path eval_path lang eps =
+  let run train_path eval_path lang eps timeout fuel =
+    with_input @@ fun () ->
     let t = read_training train_path in
     let eval_db = read_db eval_path in
+    let budget = budget_of ~timeout ~fuel in
     let labeling =
-      match eps with
-      | None -> Cqfeat.classify lang t eval_db
-      | Some eps -> fst (Cqfeat.apx_classify ~eps lang t eval_db)
+      guarded budget (fun () ->
+          match eps with
+          | None -> Cqfeat.classify lang t eval_db
+          | Some eps -> fst (Cqfeat.apx_classify ~eps lang t eval_db))
     in
     List.iter
       (fun (e, l) ->
@@ -271,7 +386,9 @@ let classify_cmd =
        ~doc:
          "Label the entities of an evaluation database consistently with \
           a separating statistic for the training database.")
-    Term.(const run $ train_arg $ eval_arg $ lang_arg $ eps_arg)
+    Term.(
+      const run $ train_arg $ eval_arg $ lang_arg $ eps_arg $ timeout_arg
+      $ fuel_arg)
 
 let dot_cmd =
   let k_arg =
@@ -280,6 +397,7 @@ let dot_cmd =
       & info [ "k" ] ~docv:"K" ~doc:"Width bound of the cover game.")
   in
   let run path k =
+    with_input @@ fun () ->
     let t = read_training path in
     let ch = Ghw_sep.chain ~k t in
     let labels =
@@ -315,4 +433,7 @@ let () =
         dot_cmd;
       ]
   in
-  exit (Cmd.eval main)
+  (* Cmdliner reports command-line parse errors as 124; fold them
+     into the documented input-error code. *)
+  let code = Cmd.eval main in
+  exit (if code = 124 then 4 else code)

@@ -60,3 +60,8 @@ let apx_classify ~m ?p ~eps (t : Labeling.training) eval_db =
   | _ ->
       invalid_arg
         "Atoms_sep.apx_classify: no CQ[m] classifier within the error budget"
+
+let separable_b ?budget ~m ?p t =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> separable ~m ?p t)

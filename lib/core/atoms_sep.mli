@@ -23,6 +23,13 @@ val pruned_features : m:int -> ?p:int -> Labeling.training -> Statistic.t
 (** [separable ~m ?p t] decides CQ[m]-Sep (CQ[m,p]-Sep with [p]). *)
 val separable : m:int -> ?p:int -> Labeling.training -> bool
 
+(** [separable_b ?budget ~m ?p t] is {!separable} under [budget]
+    (default: the ambient budget); resource exhaustion becomes a
+    structured [Error]. *)
+val separable_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> Labeling.training ->
+  (bool, Guard.failure) result
+
 (** [generate ~m ?p t] returns a separating pair [(Π, Λ)] built from
     the pruned full statistic. *)
 val generate :

@@ -80,3 +80,70 @@ let apx_separable ~eps (t : Labeling.training) =
   let n = List.length (Db.entities t.db) in
   (* separable with error eps iff disagreement ≤ eps·n *)
   Rat.compare (Rat.of_int disagreement) (Rat.mul eps (Rat.of_int n)) <= 0
+
+(* --- budgeted variants and the graceful-degradation ladder ---------- *)
+
+let default_budget = function Some b -> b | None -> Budget.installed ()
+
+let separable_b ?budget t =
+  Guard.run (default_budget budget) (fun () -> separable t)
+
+let apx_relabel_b ?budget t =
+  Guard.run (default_budget budget) (fun () -> apx_relabel t)
+
+type provenance =
+  | Exact
+  | Degraded of Language.t
+  | Approximate of Rat.t
+  | Gave_up of Guard.failure
+
+type ladder_result = { answer : bool option; provenance : provenance }
+
+let pp_provenance fmt = function
+  | Exact -> Format.pp_print_string fmt "exact"
+  | Degraded lang ->
+      Format.fprintf fmt "degraded to %s" (Language.to_string lang)
+  | Approximate slack ->
+      Format.fprintf fmt "approximate (slack %s)" (Rat.to_string slack)
+  | Gave_up f -> Format.fprintf fmt "gave up: %s" (Guard.failure_to_string f)
+
+let decide_with_fallback ?budget ?(degrade = true) ?(rungs = [ 3; 2; 1 ]) t =
+  let b = default_budget budget in
+  (* One absolute deadline bounds the whole ladder; fuel is refilled
+     per rung so a failed exact attempt does not starve the cheaper
+     fallbacks. *)
+  let attempt f = Guard.run (Budget.refresh b) f in
+  (* Final rung: minimal training error achievable with CQ[1]
+     features, reported as a misclassified fraction. A slack of zero
+     certifies CQ-separability (CQ[1] ⊆ CQ); positive slack is a
+     best-effort lower signal, not a refutation. *)
+  let slack_rung () =
+    match
+      attempt (fun () ->
+          let n = List.length (Db.entities t.Labeling.db) in
+          match Atoms_sep.min_errors ~m:1 t with
+          | Some (err, _, _) -> Rat.of_ints err (max n 1)
+          | None -> Rat.one)
+    with
+    | Ok slack ->
+        { answer = Some (Rat.is_zero slack); provenance = Approximate slack }
+    | Error f -> { answer = None; provenance = Gave_up f }
+  in
+  let rec down = function
+    | [] -> slack_rung ()
+    | m :: rest -> begin
+        match attempt (fun () -> Atoms_sep.separable ~m t) with
+        | Ok ans ->
+            {
+              answer = Some ans;
+              provenance = Degraded (Language.Cq_atoms { m; p = None });
+            }
+        | Error f when Guard.is_resource_failure f -> down rest
+        | Error f -> { answer = None; provenance = Gave_up f }
+      end
+  in
+  match attempt (fun () -> separable t) with
+  | Ok ans -> { answer = Some ans; provenance = Exact }
+  | Error f when (not degrade) || not (Guard.is_resource_failure f) ->
+      { answer = None; provenance = Gave_up f }
+  | Error _ -> down rungs

@@ -45,3 +45,46 @@ val apx_relabel : Labeling.training -> Labeling.t * int
 (** [apx_separable ~eps t] decides CQ-ApxSep for error fraction
     [eps]. *)
 val apx_separable : eps:Rat.t -> Labeling.training -> bool
+
+(** [separable_b ?budget t] is {!separable} under [budget] (default:
+    the ambient budget): always returns, converting deadline/fuel
+    exhaustion into a structured [Error]. *)
+val separable_b :
+  ?budget:Budget.t -> Labeling.training -> (bool, Guard.failure) result
+
+(** [apx_relabel_b ?budget t] is {!apx_relabel} under [budget]. *)
+val apx_relabel_b :
+  ?budget:Budget.t -> Labeling.training ->
+  (Labeling.t * int, Guard.failure) result
+
+(** How a {!decide_with_fallback} answer was obtained. *)
+type provenance =
+  | Exact  (** the exact CQ-Sep decision finished within budget *)
+  | Degraded of Language.t
+      (** the answer is for the named weaker language (a CQ[m] rung);
+          a positive answer still certifies CQ-separability, a
+          negative one only refutes the weaker language *)
+  | Approximate of Rat.t
+      (** the final rung: minimal misclassified fraction achievable
+          with CQ[1] features; zero slack certifies separability *)
+  | Gave_up of Guard.failure
+      (** every rung exhausted its budget (or a rung failed with a
+          non-resource error) *)
+
+type ladder_result = {
+  answer : bool option;  (** [None] iff the ladder gave up *)
+  provenance : provenance;
+}
+
+val pp_provenance : Format.formatter -> provenance -> unit
+
+(** [decide_with_fallback ?budget ?degrade ?rungs t] runs the
+    graceful-degradation ladder: exact CQ-Sep, then CQ[m] for each
+    [m] in [rungs] (default [3; 2; 1]), then approximate separability
+    with reported slack. All rungs share [budget]'s absolute
+    deadline; fuel is refilled per rung. With [degrade = false]
+    (or on a non-resource failure) the ladder stops after the exact
+    attempt and reports [Gave_up]. *)
+val decide_with_fallback :
+  ?budget:Budget.t -> ?degrade:bool -> ?rungs:int list ->
+  Labeling.training -> ladder_result

@@ -56,3 +56,32 @@ val apx_classify :
 (** [min_dimension ?max_dim lang t] — least statistic dimension that
     separates [t] (bounded search). *)
 val min_dimension : ?max_dim:int -> Language.t -> Labeling.training -> int option
+
+(** {1 Budgeted variants}
+
+    Each [_b] function runs its unbudgeted counterpart under a
+    {!Budget.t} (default: the ambient installed budget) and always
+    returns: deadline or fuel exhaustion, recursion/size limits, and
+    solver errors surface as a structured [Error] instead of a hang
+    or an exception. *)
+
+val separable_b :
+  ?budget:Budget.t -> ?dim:int -> Language.t -> Labeling.training ->
+  (bool, Guard.failure) result
+
+val apx_separable_b :
+  ?budget:Budget.t -> ?dim:int -> eps:Rat.t -> Language.t ->
+  Labeling.training -> (bool, Guard.failure) result
+
+val generate_b :
+  ?budget:Budget.t -> ?ghw_depth:int -> ?dim:int -> Language.t ->
+  Labeling.training ->
+  ((Statistic.t * Linsep.classifier) option, Guard.failure) result
+
+val classify_b :
+  ?budget:Budget.t -> ?dim:int -> Language.t -> Labeling.training -> Db.t ->
+  (Labeling.t, Guard.failure) result
+
+val min_dimension_b :
+  ?budget:Budget.t -> ?max_dim:int -> Language.t -> Labeling.training ->
+  (int option, Guard.failure) result

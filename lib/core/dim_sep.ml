@@ -269,3 +269,8 @@ let qbe_to_sep ~l (inst : Qbe.instance) =
     @ List.map (fun e -> (e, Labeling.Neg)) (cminus :: inst.neg)
   in
   Labeling.training db (Labeling.of_list labeled)
+
+let separable_b ?budget ~dim lang t =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> separable ~dim lang t)

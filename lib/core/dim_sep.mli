@@ -48,6 +48,13 @@ val min_errors_with_sets :
     [ℓ = dim]. *)
 val separable : dim:int -> Language.t -> Labeling.training -> bool
 
+(** [separable_b ?budget ~dim lang t] is {!separable} under [budget]
+    (default: the ambient budget); resource exhaustion becomes a
+    structured [Error]. *)
+val separable_b :
+  ?budget:Budget.t -> dim:int -> Language.t -> Labeling.training ->
+  (bool, Guard.failure) result
+
 (** [realize_set ?ghw_depth_cap lang t s] materializes a feature query
     of [lang] whose indicator set over [t]'s training database is
     exactly [s] — the constructive step behind the (L,ℓ)-separability

@@ -57,3 +57,8 @@ let apx_classify ~k (t : Labeling.training) eval_db =
       (Preorder_chain.classify ~arrow ch labels (Db.entities eval_db))
   in
   (labeling, disagreement)
+
+let separable_b ?budget ~k t =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> separable ~k t)

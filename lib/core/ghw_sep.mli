@@ -20,6 +20,13 @@ val chain : k:int -> Labeling.training -> Preorder_chain.t
 (** [separable ~k t] decides GHW(k)-Sep in polynomial time. *)
 val separable : k:int -> Labeling.training -> bool
 
+(** [separable_b ?budget ~k t] is {!separable} under [budget]
+    (default: the ambient budget); resource exhaustion becomes a
+    structured [Error]. *)
+val separable_b :
+  ?budget:Budget.t -> k:int -> Labeling.training ->
+  (bool, Guard.failure) result
+
 (** [inseparable_witness ~k t] returns an oppositely-labeled
     [→_k]-equivalent pair when not separable. *)
 val inseparable_witness : k:int -> Labeling.training -> (Elem.t * Elem.t) option

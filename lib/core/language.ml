@@ -17,6 +17,87 @@ let to_string = function
 
 let pp fmt l = Format.pp_print_string fmt (to_string l)
 
+(* Validated parsing for the CLI syntax: cq, cq[m], cq[m,p], ghw(k),
+   fo, foK, epfo. Every rejection names the offending part; no
+   catch-all handlers. *)
+
+let parse_positive ~what ~lang s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+      Error
+        (Printf.sprintf "%s: %s %S is not an integer" lang what s)
+  | Some n when n < 1 ->
+      Error (Printf.sprintf "%s: %s must be >= 1 (got %d)" lang what n)
+  | Some n -> Ok n
+
+let of_string s0 =
+  let s = String.lowercase_ascii (String.trim s0) in
+  let len = String.length s in
+  let has_prefix p = len > String.length p && String.sub s 0 (String.length p) = p in
+  let bracketed ~prefix ~close =
+    (* body of e.g. "cq[...]" or "ghw(...)"; delimiters validated *)
+    let start = String.length prefix in
+    if s.[len - 1] <> close then
+      Error
+        (Printf.sprintf "%S: missing closing %C after %S" s0 close prefix)
+    else Ok (String.sub s start (len - start - 1))
+  in
+  match s with
+  | "" -> Error "empty language specification"
+  | "cq" -> Ok Cq_all
+  | "fo" -> Ok Fo
+  | "epfo" -> Ok Epfo
+  | _ when has_prefix "cq[" -> begin
+      match bracketed ~prefix:"cq[" ~close:']' with
+      | Error _ as e -> e
+      | Ok body -> begin
+          match String.split_on_char ',' body with
+          | [ m ] -> begin
+              match parse_positive ~what:"atom bound m" ~lang:"cq[m]" m with
+              | Error _ as e -> e
+              | Ok m -> Ok (Cq_atoms { m; p = None })
+            end
+          | [ m; p ] -> begin
+              match parse_positive ~what:"atom bound m" ~lang:"cq[m,p]" m with
+              | Error _ as e -> e
+              | Ok m -> begin
+                  match
+                    parse_positive ~what:"occurrence bound p" ~lang:"cq[m,p]" p
+                  with
+                  | Error _ as e -> e
+                  | Ok p -> Ok (Cq_atoms { m; p = Some p })
+                end
+            end
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "cq[...]: expected one or two parameters, got %S" body)
+        end
+    end
+  | _ when has_prefix "ghw(" -> begin
+      match bracketed ~prefix:"ghw(" ~close:')' with
+      | Error _ as e -> e
+      | Ok body -> begin
+          match parse_positive ~what:"width bound k" ~lang:"ghw(k)" body with
+          | Error _ as e -> e
+          | Ok k -> Ok (Ghw k)
+        end
+    end
+  | _ when has_prefix "fo" -> begin
+      match
+        parse_positive ~what:"variable bound k" ~lang:"foK"
+          (String.sub s 2 (len - 2))
+      with
+      | Error _ as e -> e
+      | Ok k -> Ok (Fo_k k)
+    end
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown language %S (expected cq, cq[m], cq[m,p], ghw(k), fo, \
+            foK, epfo)"
+           s0)
+
 let member lang q =
   match lang with
   | Cq_all | Fo | Epfo -> true

@@ -15,6 +15,13 @@ type t =
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
+(** [of_string s] parses the CLI syntax — [cq], [cq[m]], [cq[m,p]],
+    [ghw(k)], [fo], [foK] (e.g. [fo2]), [epfo]; case-insensitive,
+    surrounding whitespace ignored. All numeric parameters must be
+    at least 1; the error message names the offending parameter or
+    token. *)
+val of_string : string -> (t, string) result
+
 (** [member lang q] checks syntactic membership of a feature CQ in the
     CQ-based languages ([Fo] and [Epfo] contain every CQ). For
     [Ghw k] this computes the exact ghw (exponential; small queries

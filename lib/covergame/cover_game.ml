@@ -27,6 +27,7 @@ let covered_sets ~k d =
     end
   in
   let rec subsets elems current =
+    Budget.tick ~what:"cover game: covered sets" ();
     match elems with
     | [] -> add current
     | e :: rest ->
@@ -84,6 +85,7 @@ let positions_of_set ~d ~d' ~pin x =
   in
   let results = ref [] in
   let rec assign todo asg =
+    Budget.tick ~what:"cover game: positions" ();
     match todo with
     | [] -> results := asg :: !results
     | e :: rest -> begin
@@ -264,6 +266,7 @@ let holds_ctx ctx ~pin:pin_list =
     else begin
       let alive = Array.make n false in
       for id = 0 to n - 1 do
+        Budget.tick ~what:"cover game: pin filter" ();
         alive.(id) <- pin_compatible ctx ~pin ~pin_facts id
       done;
       (* surviving-extension counts per (parent, extension element) *)
@@ -308,6 +311,7 @@ let holds_ctx ctx ~pin:pin_list =
           List.iter (fun (_, child) -> kill child) ctx.c_links.(id)
       done;
       while not (Queue.is_empty queue) do
+        Budget.tick ~what:"cover game: kill propagation" ();
         let id = Queue.pop queue in
         List.iter (fun (_, child) -> kill child) ctx.c_links.(id);
         List.iter
@@ -387,6 +391,17 @@ let preorder ?(transitive_pruning = true) ~k d entities =
     done
   done;
   m
+
+let default_budget = function
+  | Some b -> b
+  | None -> Budget.installed ()
+
+let holds_b ?budget ~k (d, tuple) (d', tuple') =
+  Guard.run (default_budget budget) (fun () -> holds ~k (d, tuple) (d', tuple'))
+
+let preorder_b ?budget ?transitive_pruning ~k d entities =
+  Guard.run (default_budget budget) (fun () ->
+      preorder ?transitive_pruning ~k d entities)
 
 let equiv_classes ~k d entities =
   let ents = Array.of_list entities in

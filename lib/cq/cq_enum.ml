@@ -24,6 +24,7 @@ let generate ?max_var_occ ~schema ~max_atoms ~emit () =
   (* Enumerate argument tuples for one atom of arity [ar]: each
      position is an existing variable or the next fresh one. *)
   let rec tuples ar next_fresh existing acc k =
+    Budget.tick ~what:"CQ[m] feature enumeration" ();
     if ar = 0 then k (List.rev acc) next_fresh
     else begin
       List.iter
@@ -41,6 +42,8 @@ let generate ?max_var_occ ~schema ~max_atoms ~emit () =
       occ vs
   in
   let rec go atoms count next_fresh existing occ min_rel =
+    Budget.tick ~what:"CQ[m] feature enumeration" ();
+    Budget.check_depth ~what:"CQ[m] atom count" count;
     emit (List.rev atoms);
     if count < max_atoms then
       for r = min_rel to Array.length schema - 1 do

@@ -4,6 +4,7 @@ type plan =
   | Hom_search
 
 let plan ?(max_width = 2) q =
+  Budget.tick ~what:"query planning" ();
   (* The structured engines pay a per-query planning cost that grows
      with the atom count (cubic ear search, exponential decomposition
      search); for very large queries — e.g. deep unravelings — the

@@ -103,6 +103,7 @@ let natural_join a b =
   let rows =
     List.concat_map
       (fun arow ->
+        Budget.tick ~what:"decomposed join" ();
         let key = List.map (fun p -> arow.(p)) a_pos in
         match Hashtbl.find_opt index key with
         | None -> []
@@ -128,7 +129,9 @@ let semijoin a b =
     a with
     rows =
       List.filter
-        (fun row -> Hashtbl.mem keys (List.map (fun p -> row.(p)) a_pos))
+        (fun row ->
+          Budget.tick ~what:"decomposed semijoin" ();
+          Hashtbl.mem keys (List.map (fun p -> row.(p)) a_pos))
         a.rows;
   }
 

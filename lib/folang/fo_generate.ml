@@ -12,7 +12,11 @@ let rec tuples_of arity dom =
   if arity = 0 then [ [] ]
   else begin
     let shorter = tuples_of (arity - 1) dom in
-    List.concat_map (fun d -> List.map (fun t -> d :: t) shorter) dom
+    List.concat_map
+      (fun d ->
+        Budget.tick ~what:"FO diagram: tuple enumeration" ();
+        List.map (fun t -> d :: t) shorter)
+      dom
   end
 
 let diagram_formula (db, e) =

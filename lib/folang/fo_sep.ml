@@ -6,10 +6,16 @@ let opposite_pairs (t : Labeling.training) =
 let fo_inseparable_witness (t : Labeling.training) =
   List.find_opt
     (fun (e, e') ->
+      Budget.tick ~what:"FO separability: isomorphism tests" ();
       Struct_iso.isomorphic_pointed (t.db, [ e ]) (t.db, [ e' ]))
     (opposite_pairs t)
 
 let fo_separable t = fo_inseparable_witness t = None
+
+let fo_separable_b ?budget t =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> fo_separable t)
 
 let epfo_separable (t : Labeling.training) =
   not

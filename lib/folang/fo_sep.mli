@@ -14,6 +14,12 @@
     entities with [(D,e) ≅ (D,e')]. *)
 val fo_separable : Labeling.training -> bool
 
+(** [fo_separable_b ?budget t] is {!fo_separable} run under [budget]
+    (default: the ambient budget): always returns, converting resource
+    exhaustion into [Error]. *)
+val fo_separable_b :
+  ?budget:Budget.t -> Labeling.training -> (bool, Guard.failure) result
+
 (** [fo_inseparable_witness t] returns an oppositely-labeled isomorphic
     pair when FO-separation is impossible. *)
 val fo_inseparable_witness : Labeling.training -> (Elem.t * Elem.t) option

@@ -77,6 +77,7 @@ let equivalent ~k (a, tuple_a) (b, tuple_b) =
       end
     in
     let rec enumerate pairs size =
+      Budget.tick ~what:"pebble game: positions" ();
       add pairs;
       if size < k then
         List.iter
@@ -96,6 +97,7 @@ let equivalent ~k (a, tuple_a) (b, tuple_b) =
     let id_of pairs = Hashtbl.find_opt positions (key pairs) in
     (* Single sweep conditions; iterate to fixpoint. *)
     let survives id =
+      Budget.tick ~what:"pebble game: fixpoint" ();
       let pairs = store.(id) in
       let size = List.length pairs in
       (* restriction closure *)

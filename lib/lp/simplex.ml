@@ -1,9 +1,16 @@
-(* Two-phase full-tableau simplex with Bland's rule, exact rationals.
+(* Two-phase full-tableau simplex, exact rationals.
 
    Internal standard form: free variable x_i is split into
    x_i = p_i - m_i with p_i, m_i >= 0; each constraint row gets a slack
    (Le: +s, Ge: -s) and, after sign-normalizing the right-hand side, an
-   artificial variable for phase I. *)
+   artificial variable for phase I.
+
+   Pivoting uses Dantzig pricing (most negative reduced cost) while it
+   is making progress and falls back to Bland's rule — which provably
+   cannot cycle — once the pivot count passes a size-derived threshold,
+   so degenerate LPs terminate. A hard per-phase pivot cap converts a
+   would-be infinite loop into a structured Budget failure, and every
+   pivot consumes one unit of the ambient fuel budget. *)
 
 type op = Le | Ge | Eq
 type row = { coeffs : Rat.t array; op : op; rhs : Rat.t }
@@ -42,12 +49,25 @@ let pivot tb ~row ~col =
   done;
   tb.basis.(row) <- col
 
-(* Bland: entering = least column with negative reduced cost; leaving =
-   min ratio, ties by least basis column. Returns `Optimal or
-   `Unbounded with the offending column. *)
-let rec iterate tb ~allowed =
-  let { t; m; n; basis } = tb in
-  let obj = t.(m) in
+(* Entering column. Dantzig: most negative reduced cost (fast in
+   practice, may cycle on degenerate LPs). Bland: least column with
+   negative reduced cost (anti-cycling guarantee). Leaving row: min
+   ratio, ties by least basis column. Returns `Optimal or `Unbounded
+   with the offending column. *)
+let entering_dantzig obj ~allowed n =
+  let best = ref (-1) in
+  let best_cost = ref Rat.zero in
+  for j = 0 to n - 1 do
+    if allowed j && Rat.sign obj.(j) < 0
+       && (!best < 0 || Rat.compare obj.(j) !best_cost < 0)
+    then begin
+      best := j;
+      best_cost := obj.(j)
+    end
+  done;
+  !best
+
+let entering_bland obj ~allowed n =
   let entering = ref (-1) in
   (try
      for j = 0 to n - 1 do
@@ -57,9 +77,23 @@ let rec iterate tb ~allowed =
        end
      done
    with Exit -> ());
-  if !entering < 0 then `Optimal
+  !entering
+
+let rec iterate ?(pivots = ref 0) tb ~allowed =
+  let { t; m; n; basis } = tb in
+  (* Bland's rule cannot cycle, so switching to it after a burst of
+     Dantzig pivots guarantees termination; the hard cap turns any
+     remaining pathology (a bug, not degeneracy) into a structured
+     failure instead of an endless loop. *)
+  let bland_after = 64 + (4 * (m + n)) in
+  let max_pivots = 10_000 + (200 * (m + n)) in
+  let obj = t.(m) in
+  let col =
+    if !pivots < bland_after then entering_dantzig obj ~allowed n
+    else entering_bland obj ~allowed n
+  in
+  if col < 0 then `Optimal
   else begin
-    let col = !entering in
     let best = ref None in
     for i = 0 to m - 1 do
       let a = t.(i).(col) in
@@ -76,8 +110,16 @@ let rec iterate tb ~allowed =
     match !best with
     | None -> `Unbounded col
     | Some (_, row) ->
+        Budget.tick ~what:"simplex pivot" ();
+        incr pivots;
+        if !pivots > max_pivots then
+          raise
+            (Budget.Exhausted
+               (Budget.Solver_error
+                  (Printf.sprintf
+                     "Simplex: pivot cap %d exceeded (cycling?)" max_pivots)));
         pivot tb ~row ~col;
-        iterate tb ~allowed
+        iterate ~pivots tb ~allowed
   end
 
 (* Install objective [c] (length n) into the last row given the current
@@ -193,6 +235,16 @@ let feasible ~nvars ~rows () =
   match solve ~nvars ~rows ~objective:(Array.make nvars Rat.zero) () with
   | Optimal (x, _) | Unbounded x -> Some x
   | Infeasible -> None
+
+let solve_b ?budget ~nvars ~rows ~objective () =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> solve ~nvars ~rows ~objective ())
+
+let feasible_b ?budget ~nvars ~rows () =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> feasible ~nvars ~rows ())
 
 let check_solution ~rows x =
   List.for_all

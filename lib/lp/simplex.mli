@@ -1,8 +1,11 @@
 (** Exact simplex over rationals.
 
     Linear programs with free (sign-unrestricted) variables, solved by
-    the classic two-phase full-tableau simplex with Bland's rule (no
-    cycling) in exact {!Rat} arithmetic. This is the stand-in for the
+    the classic two-phase full-tableau simplex in exact {!Rat}
+    arithmetic — Dantzig pricing while it makes progress, Bland's rule
+    (no cycling) past a size-derived pivot threshold, and a hard pivot
+    cap that turns any remaining non-termination into a structured
+    {!Budget.Exhausted} failure. This is the stand-in for the
     polynomial-time LP oracle (Khachiyan/Karmarkar) that the paper
     invokes for linear-separability testing: worst-case exponential,
     but exact — no epsilon tuning — and fast at the scales of this
@@ -21,12 +24,27 @@ type outcome =
 
 (** [solve ~nvars ~rows ~objective ()] minimizes [objective · x] subject
     to [rows]; all [nvars] variables are free. Every [coeffs] array and
-    [objective] must have length [nvars].
-    @raise Invalid_argument on dimension mismatch. *)
+    [objective] must have length [nvars]. Each pivot consumes one unit
+    of the ambient fuel budget.
+    @raise Invalid_argument on dimension mismatch.
+    @raise Budget.Exhausted when the ambient budget or the internal
+    pivot cap is exceeded (use {!solve_b} for a total variant). *)
 val solve : nvars:int -> rows:row list -> objective:Rat.t array -> unit -> outcome
 
 (** [feasible ~nvars ~rows ()] finds any point satisfying [rows]. *)
 val feasible : nvars:int -> rows:row list -> unit -> Rat.t array option
+
+(** [solve_b ?budget ~nvars ~rows ~objective ()] is {!solve} run under
+    [budget] (default: the ambient budget): always returns, converting
+    exhaustion and pivot-cap hits into [Error]. *)
+val solve_b :
+  ?budget:Budget.t -> nvars:int -> rows:row list -> objective:Rat.t array ->
+  unit -> (outcome, Guard.failure) result
+
+(** [feasible_b ?budget ~nvars ~rows ()] is the budgeted {!feasible}. *)
+val feasible_b :
+  ?budget:Budget.t -> nvars:int -> rows:row list -> unit ->
+  (Rat.t array option, Guard.failure) result
 
 (** [check_solution ~rows x] verifies that [x] satisfies every row
     (exact arithmetic, used by tests and defensive callers). *)

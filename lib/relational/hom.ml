@@ -146,6 +146,7 @@ let solve ?(fix = []) ?(naive = false) ~src ~dst ~on_solution () =
           else begin
             let x = order.(i) in
             let try_candidate v =
+              Budget.tick ~what:"hom search" ();
               let asg' = Elem.Map.add x v asg in
               if facts_ok src dst asg' x then go (i + 1) asg'
             in

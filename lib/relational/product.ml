@@ -16,7 +16,11 @@ let nary dbs =
           | [] -> [ [] ]
           | fl :: rest ->
               let tails = combos rest in
-              List.concat_map (fun f -> List.map (fun t -> f :: t) tails) fl
+              List.concat_map
+                (fun f ->
+                  Budget.tick ~what:"product enumeration" ();
+                  List.map (fun t -> f :: t) tails)
+                fl
         in
         let mk facts_tuple =
           match facts_tuple with
@@ -36,7 +40,9 @@ let nary dbs =
         in
         List.filter_map mk (combos fact_lists)
       in
-      Db.of_facts (List.concat_map product_facts_of_rel rels)
+      let facts = List.concat_map product_facts_of_rel rels in
+      Budget.check_size ~what:"product database" (List.length facts);
+      Db.of_facts facts
 
 let binary d1 d2 = nary [ d1; d2 ]
 

@@ -6,6 +6,22 @@ type document = { db : Db.t; labeling : Labeling.t }
 
 type token = Ident of string | Num of int | Lpar | Rpar | Comma
 
+let token_to_string = function
+  | Ident s -> Printf.sprintf "%S" s
+  | Num n -> Printf.sprintf "'%d'" n
+  | Lpar -> "'('"
+  | Rpar -> "')'"
+  | Comma -> "','"
+
+let next_token_to_string = function
+  | [] -> "end of line"
+  | tok :: _ -> token_to_string tok
+
+(* Hard caps: a malformed or adversarial input must produce a clean
+   Parse_error, not an arbitrarily large allocation downstream. *)
+let max_line_length = 65_536
+let max_arity = 64
+
 let tokenize ~line_no line =
   let fail msg =
     raise (Parse_error (Printf.sprintf "line %d: %s" line_no msg))
@@ -59,11 +75,21 @@ let rec parse_elem ~line_no = function
         match rest with
         | Comma :: rest -> elems (e :: acc) rest
         | Rpar :: rest -> (List.rev (e :: acc), rest)
-        | _ -> parse_fail ~line_no "expected ',' or ')' in tuple"
+        | rest ->
+            parse_fail ~line_no
+              (Printf.sprintf "expected ',' or ')' in tuple, got %s"
+                 (next_token_to_string rest))
       in
       let es, rest = elems [] rest in
+      if List.length es > max_arity then
+        parse_fail ~line_no
+          (Printf.sprintf "tuple of width %d exceeds the maximum %d"
+             (List.length es) max_arity);
       (Elem.tup es, rest)
-  | _ -> parse_fail ~line_no "expected an element"
+  | rest ->
+      parse_fail ~line_no
+        (Printf.sprintf "expected an element, got %s"
+           (next_token_to_string rest))
 
 let parse_fact ~line_no rel tokens =
   match tokens with
@@ -73,12 +99,26 @@ let parse_fact ~line_no rel tokens =
         match rest with
         | Comma :: rest -> args (e :: acc) rest
         | Rpar :: rest -> (List.rev (e :: acc), rest)
-        | _ -> parse_fail ~line_no "expected ',' or ')' in fact arguments"
+        | rest ->
+            parse_fail ~line_no
+              (Printf.sprintf
+                 "expected ',' or ')' in arguments of %S, got %s" rel
+                 (next_token_to_string rest))
       in
       let es, rest = args [] rest in
-      if rest <> [] then parse_fail ~line_no "trailing tokens after fact";
+      if rest <> [] then
+        parse_fail ~line_no
+          (Printf.sprintf "trailing tokens after fact %S: %s" rel
+             (next_token_to_string rest));
+      if List.length es > max_arity then
+        parse_fail ~line_no
+          (Printf.sprintf "fact %S has arity %d, exceeding the maximum %d"
+             rel (List.length es) max_arity);
       Fact.make_l rel es
-  | _ -> parse_fail ~line_no "expected '(' after relation name"
+  | rest ->
+      parse_fail ~line_no
+        (Printf.sprintf "expected '(' after relation name %S, got %s" rel
+           (next_token_to_string rest))
 
 let parse_string s =
   let db = ref Db.empty in
@@ -87,6 +127,10 @@ let parse_string s =
   List.iteri
     (fun idx raw ->
       let line_no = idx + 1 in
+      if String.length raw > max_line_length then
+        parse_fail ~line_no
+          (Printf.sprintf "line of %d characters exceeds the maximum %d"
+             (String.length raw) max_line_length);
       let line = String.trim raw in
       if line = "" || line.[0] = '#' then ()
       else if line.[0] = '+' || line.[0] = '-' || line.[0] = '?' then begin
@@ -95,18 +139,34 @@ let parse_string s =
         let tokens = tokenize ~line_no rest in
         let e, leftover = parse_elem ~line_no tokens in
         if leftover <> [] then
-          parse_fail ~line_no "trailing tokens after entity";
+          parse_fail ~line_no
+            (Printf.sprintf "trailing tokens after entity %s: %s"
+               (Elem.to_string e)
+               (next_token_to_string leftover));
+        let set_label l =
+          match Labeling.get_opt e !labeling with
+          | Some l' when l' <> l ->
+              parse_fail ~line_no
+                (Printf.sprintf
+                   "conflicting label for entity %s (already labeled %s)"
+                   (Elem.to_string e)
+                   (match l' with Labeling.Pos -> "'+'" | Labeling.Neg -> "'-'"))
+          | _ -> labeling := Labeling.set e l !labeling
+        in
         db := Db.add_entity e !db;
         match marker with
-        | '+' -> labeling := Labeling.set e Labeling.Pos !labeling
-        | '-' -> labeling := Labeling.set e Labeling.Neg !labeling
+        | '+' -> set_label Labeling.Pos
+        | '-' -> set_label Labeling.Neg
         | _ -> ()
       end
       else begin
         match tokenize ~line_no line with
         | Ident rel :: rest ->
             db := Db.add (parse_fact ~line_no rel rest) !db
-        | _ -> parse_fail ~line_no "expected a fact or an entity line"
+        | rest ->
+            parse_fail ~line_no
+              (Printf.sprintf "expected a fact or an entity line, got %s"
+                 (next_token_to_string rest))
       end)
     lines;
   { db = !db; labeling = !labeling }

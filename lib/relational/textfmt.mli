@@ -8,7 +8,13 @@
       ?e             e is an unlabeled entity (adds eta(e))
     v}
     Elements are identifiers ([[A-Za-z_][A-Za-z0-9_']*]), integers, or
-    parenthesized tuples [(a,b,...)] of elements. *)
+    parenthesized tuples [(a,b,...)] of elements.
+
+    The parser is hardened against malformed and adversarial input:
+    conflicting labels for the same entity ([+a] then [-a]) are
+    rejected, lines are capped at 65536 characters, fact arities and
+    tuple widths at 64, and every error message names the offending
+    token. *)
 
 exception Parse_error of string
 (** Raised with a human-readable message (including a line number) on

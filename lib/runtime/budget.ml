@@ -1,0 +1,143 @@
+(* Resource budgets for the worst-case-intractable solvers.
+
+   A budget combines a wall-clock deadline, a monotone fuel counter and
+   optional recursion/size limits. Solvers consume fuel through the
+   ambient [tick] installed by {!Guard.run}. The fast path is a single
+   decrement-and-branch on a prepaid [credit] counter, so ticks can sit
+   inside the hottest loops; fuel accounting and wall-clock reads are
+   amortized into a replenish step that runs at most once per
+   [clock_period] ticks. *)
+
+type failure =
+  | Timeout
+  | Fuel_exhausted of string
+  | Limit_exceeded of string
+  | Solver_error of string
+
+exception Exhausted of failure
+
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday seconds *)
+  initial_fuel : int;  (* max_int means unlimited *)
+  mutable fuel : int;  (* remaining fuel not yet handed out as credit *)
+  max_recursion : int option;
+  max_size : int option;
+  mutable credit : int;  (* prepaid ticks before the next replenish *)
+}
+
+let clock_period = 1024
+
+let unlimited =
+  {
+    deadline = None;
+    initial_fuel = max_int;
+    fuel = max_int;
+    max_recursion = None;
+    max_size = None;
+    credit = clock_period;
+  }
+
+let make ?timeout ?fuel ?max_recursion ?max_size () =
+  (match timeout with
+  | Some s when s < 0.0 -> invalid_arg "Budget.make: negative timeout"
+  | _ -> ());
+  (match fuel with
+  | Some f when f < 1 -> invalid_arg "Budget.make: fuel must be >= 1"
+  | _ -> ());
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let initial_fuel = match fuel with Some f -> f | None -> max_int in
+  {
+    deadline;
+    initial_fuel;
+    fuel = initial_fuel;
+    max_recursion;
+    max_size;
+    (* The first tick replenishes, which reads the clock, so an
+       already-expired deadline is noticed immediately rather than
+       [clock_period] ticks later. *)
+    credit = 0;
+  }
+
+let refresh b = { b with fuel = b.initial_fuel; credit = 0 }
+
+let is_unlimited b =
+  b.deadline = None && b.initial_fuel = max_int && b.max_recursion = None
+  && b.max_size = None
+
+let remaining_fuel b =
+  if b.initial_fuel = max_int then None else Some (b.fuel + b.credit)
+
+let remaining_time b =
+  Option.map (fun d -> d -. Unix.gettimeofday ()) b.deadline
+
+(* --- the ambient budget ------------------------------------------------ *)
+
+let current = ref unlimited
+
+let install b =
+  let previous = !current in
+  current := b;
+  previous
+
+let installed () = !current
+
+(* Slow path, at most once per [clock_period] ticks: read the clock if
+   there is a deadline, then prepay the next batch of ticks out of the
+   remaining fuel. The last fuel unit is never prepaid — spending it
+   must raise — so a budget with fuel [f] admits exactly [f - 1] ticks
+   and raises on the [f]-th, as if fuel were decremented per tick. *)
+let replenish b what =
+  (match b.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise (Exhausted Timeout)
+  | _ -> ());
+  if b.fuel = max_int then b.credit <- clock_period - 1
+  else if b.fuel <= 1 then begin
+    b.fuel <- 0;
+    raise (Exhausted (Fuel_exhausted what))
+  end
+  else begin
+    let batch = if b.fuel - 1 < clock_period then b.fuel - 1 else clock_period in
+    b.fuel <- b.fuel - batch;
+    b.credit <- batch - 1 (* the current tick consumes one *)
+  end
+
+let tick ?(what = "solver") () =
+  let b = !current in
+  if b.credit > 0 then b.credit <- b.credit - 1 else replenish b what
+
+let check_size ?(what = "structure") n =
+  match !current.max_size with
+  | Some cap when n > cap ->
+      raise
+        (Exhausted
+           (Limit_exceeded
+              (Printf.sprintf "%s: size %d exceeds the limit %d" what n cap)))
+  | _ -> ()
+
+let check_depth ?(what = "recursion") d =
+  match !current.max_recursion with
+  | Some cap when d > cap ->
+      raise
+        (Exhausted
+           (Limit_exceeded
+              (Printf.sprintf "%s: depth %d exceeds the limit %d" what d cap)))
+  | _ -> ()
+
+let pp fmt b =
+  if is_unlimited b then Format.pp_print_string fmt "unlimited"
+  else begin
+    let parts =
+      List.filter_map Fun.id
+        [
+          Option.map (fun d -> Printf.sprintf "deadline in %.3fs"
+                         (d -. Unix.gettimeofday ())) b.deadline;
+          (if b.initial_fuel = max_int then None
+           else
+             Some
+               (Printf.sprintf "fuel %d/%d" (b.fuel + b.credit) b.initial_fuel));
+          Option.map (Printf.sprintf "max-recursion %d") b.max_recursion;
+          Option.map (Printf.sprintf "max-size %d") b.max_size;
+        ]
+    in
+    Format.pp_print_string fmt (String.concat ", " parts)
+  end

@@ -1,0 +1,91 @@
+(** Resource budgets: wall-clock deadlines, monotone fuel counters and
+    recursion/size limits for the worst-case-intractable solvers.
+
+    Every decision procedure in this library is exponential in the
+    worst case (Table 1 of the paper), so production callers wrap them
+    in a budget and a {!Guard.run}. Solvers cooperate by calling
+    {!tick} inside their hot loops; the installed budget decides when
+    to abort by raising {!Exhausted}, which {!Guard.run} converts into
+    a structured [Error]. A tick is a single decrement-and-branch on a
+    prepaid credit counter; fuel accounting and clock reads happen in
+    an amortized slow path at most once per 1024 ticks. *)
+
+(** Why a budgeted computation stopped. Re-exported as
+    {!Guard.failure}. *)
+type failure =
+  | Timeout  (** the wall-clock deadline passed *)
+  | Fuel_exhausted of string
+      (** the fuel counter reached zero; the payload names the loop
+          that consumed the last unit *)
+  | Limit_exceeded of string  (** a recursion/size/structural limit *)
+  | Solver_error of string
+      (** the solver failed for a non-resource reason (invalid
+          argument, internal failure) *)
+
+exception Exhausted of failure
+(** Raised by {!tick}/{!check_size}/{!check_depth} when the installed
+    budget is spent. Catch it via {!Guard.run}, not manually. *)
+
+type t
+(** A budget. Mutable: fuel is consumed as the computation runs. *)
+
+val unlimited : t
+(** The no-op budget: never exhausts. This is the default ambient
+    budget; ticks against it stay on the decrement-and-branch fast
+    path. *)
+
+(** [make ?timeout ?fuel ?max_recursion ?max_size ()] builds a budget.
+    [timeout] is in seconds from now (the deadline is absolute, so one
+    budget bounds the total wall time of everything run under it);
+    [fuel] is the number of cooperative ticks allowed.
+    @raise Invalid_argument on a negative timeout or [fuel < 1]. *)
+val make :
+  ?timeout:float ->
+  ?fuel:int ->
+  ?max_recursion:int ->
+  ?max_size:int ->
+  unit ->
+  t
+
+val refresh : t -> t
+(** [refresh b] is a budget with [b]'s deadline and limits but the fuel
+    refilled to its initial amount — used by degradation ladders to
+    give each fallback rung a fresh fuel slice under the same overall
+    deadline. *)
+
+val is_unlimited : t -> bool
+
+val remaining_fuel : t -> int option
+(** [None] when fuel is unlimited. *)
+
+val remaining_time : t -> float option
+(** Seconds until the deadline (negative when past); [None] without a
+    deadline. *)
+
+(** {2 The ambient budget}
+
+    {!Guard.run} installs a budget for the dynamic extent of a solver
+    call; the hot loops consume it through {!tick} without any
+    plumbing. *)
+
+val install : t -> t
+(** [install b] makes [b] the ambient budget and returns the previous
+    one (restore it when done — {!Guard.run} does). *)
+
+val installed : unit -> t
+
+val tick : ?what:string -> unit -> unit
+(** [tick ~what ()] consumes one unit of ambient fuel and, every 1024
+    ticks, checks the wall clock. [what] names the calling loop for the
+    {!Fuel_exhausted} payload.
+    @raise Exhausted when the budget is spent. *)
+
+val check_size : ?what:string -> int -> unit
+(** [check_size ~what n] raises {!Exhausted} with [Limit_exceeded] when
+    the ambient budget caps sizes below [n]. *)
+
+val check_depth : ?what:string -> int -> unit
+(** [check_depth ~what d] raises {!Exhausted} with [Limit_exceeded]
+    when the ambient budget caps recursion below [d]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type failure = Budget.failure =
+  | Timeout
+  | Fuel_exhausted of string
+  | Limit_exceeded of string
+  | Solver_error of string
+
+let failure_to_string = function
+  | Timeout -> "timeout: wall-clock deadline exceeded"
+  | Fuel_exhausted what -> Printf.sprintf "fuel exhausted in %s" what
+  | Limit_exceeded what -> Printf.sprintf "limit exceeded: %s" what
+  | Solver_error msg -> Printf.sprintf "solver error: %s" msg
+
+let pp_failure fmt f = Format.pp_print_string fmt (failure_to_string f)
+
+let is_resource_failure = function
+  | Timeout | Fuel_exhausted _ | Limit_exceeded _ -> true
+  | Solver_error _ -> false
+
+let run budget f =
+  let previous = Budget.install budget in
+  let restore () = ignore (Budget.install previous) in
+  match f () with
+  | v ->
+      restore ();
+      Ok v
+  | exception e -> begin
+      restore ();
+      match e with
+      | Budget.Exhausted failure -> Error failure
+      | Stack_overflow -> Error (Limit_exceeded "stack overflow")
+      | Invalid_argument msg | Failure msg -> Error (Solver_error msg)
+      | Not_found -> Error (Solver_error "internal lookup failed (Not_found)")
+      | e -> raise e
+    end
+
+let run_result budget f =
+  match run budget f with
+  | Ok (Ok _ as ok) -> ok
+  | Ok (Error _ as err) -> err
+  | Error failure -> Error failure

@@ -1,0 +1,37 @@
+(** Run a solver under a {!Budget}, converting resource exhaustion and
+    internal failures into a structured result.
+
+    [Guard.run] is the single choke point that makes the library's
+    entry points total: whatever happens inside — the deadline passes,
+    the fuel runs out, a limit trips, the solver rejects its input, the
+    stack overflows — the caller gets [Error failure] instead of an
+    uncaught exception or a hang. *)
+
+(** Equal to {!Budget.failure} (re-exported so callers of budgeted
+    entry points never need to open [Budget]). *)
+type failure = Budget.failure =
+  | Timeout
+  | Fuel_exhausted of string
+  | Limit_exceeded of string
+  | Solver_error of string
+
+val failure_to_string : failure -> string
+val pp_failure : Format.formatter -> failure -> unit
+
+val is_resource_failure : failure -> bool
+(** [true] for [Timeout]/[Fuel_exhausted]/[Limit_exceeded] — failures a
+    bigger budget could fix — and [false] for [Solver_error]. *)
+
+val run : Budget.t -> (unit -> 'a) -> ('a, failure) result
+(** [run budget f] installs [budget] as the ambient budget, runs [f],
+    and restores the previously installed budget (so guarded runs
+    nest). Returns [Error]:
+    - with the failure carried by {!Budget.Exhausted} when a
+      cooperative {!Budget.tick} aborted the run;
+    - [Limit_exceeded "stack overflow"] on [Stack_overflow];
+    - [Solver_error msg] on [Invalid_argument]/[Failure]/[Not_found].
+    Other exceptions propagate unchanged. *)
+
+val run_result : Budget.t -> (unit -> ('a, failure) result) -> ('a, failure) result
+(** [run_result budget f] is {!run} for an [f] that already returns a
+    result, flattening the two error layers. *)

@@ -193,6 +193,62 @@ let test_zero_rows () =
   | Some _ -> ()
   | None -> Alcotest.fail "empty system is feasible"
 
+let test_beale_cycling () =
+  (* Beale's classic degenerate LP, on which Dantzig pricing with a
+     naive tie-break cycles forever:
+       min -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4
+       s.t. 1/4 x1 - 60 x2 - 1/25 x3 + 9 x4 <= 0
+            1/2 x1 - 90 x2 - 1/50 x3 + 3 x4 <= 0
+            x3 <= 1,  x >= 0
+     The optimum is -1/20 at x = (1/25, 0, 1, 0); the Bland fallback
+     (or the pivot cap) must prevent an infinite pivot loop. *)
+  let q a b = Rat.of_ints a b in
+  let row coeffs op rhs = { Simplex.coeffs = Array.of_list coeffs; op; rhs } in
+  let rows =
+    [
+      row [ q 1 4; q (-60) 1; q (-1) 25; q 9 1 ] Simplex.Le Rat.zero;
+      row [ q 1 2; q (-90) 1; q (-1) 50; q 3 1 ] Simplex.Le Rat.zero;
+      row [ Rat.zero; Rat.zero; Rat.one; Rat.zero ] Simplex.Le Rat.one;
+      row [ Rat.one; Rat.zero; Rat.zero; Rat.zero ] Simplex.Ge Rat.zero;
+      row [ Rat.zero; Rat.one; Rat.zero; Rat.zero ] Simplex.Ge Rat.zero;
+      row [ Rat.zero; Rat.zero; Rat.one; Rat.zero ] Simplex.Ge Rat.zero;
+      row [ Rat.zero; Rat.zero; Rat.zero; Rat.one ] Simplex.Ge Rat.zero;
+    ]
+  in
+  let objective = [| q (-3) 4; q 150 1; q (-1) 50; q 6 1 |] in
+  match Simplex.solve ~nvars:4 ~rows ~objective () with
+  | Simplex.Optimal (_, v) ->
+      check bool_c "objective -1/20" true (Rat.equal v (Rat.of_ints (-1) 20))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_solve_b_fuel () =
+  let rows =
+    [
+      r [ 1; 1 ] Simplex.Le 3;
+      r [ 1; 0 ] Simplex.Ge 0;
+      r [ 0; 1 ] Simplex.Ge 0;
+    ]
+  in
+  (* fuel 1: the first pivot tick must surface as a structured error *)
+  (match
+     Simplex.solve_b
+       ~budget:(Budget.make ~fuel:1 ())
+       ~nvars:2 ~rows ~objective:(obj [ -1; -1 ]) ()
+   with
+  | Error (Guard.Fuel_exhausted _) -> ()
+  | Error f -> Alcotest.failf "unexpected failure %s" (Guard.failure_to_string f)
+  | Ok _ -> Alcotest.fail "expected fuel exhaustion");
+  (* a generous budget must agree with the unbudgeted solver *)
+  match
+    Simplex.solve_b
+      ~budget:(Budget.make ~fuel:1_000_000 ())
+      ~nvars:2 ~rows ~objective:(obj [ -1; -1 ]) ()
+  with
+  | Ok (Simplex.Optimal (_, v)) ->
+      check bool_c "objective -3" true (Rat.equal v (Rat.of_int (-3)))
+  | Ok _ -> Alcotest.fail "expected optimal"
+  | Error f -> Alcotest.failf "unexpected failure %s" (Guard.failure_to_string f)
+
 let () =
   Alcotest.run "lp"
     [
@@ -207,6 +263,8 @@ let () =
           Alcotest.test_case "fractional" `Quick test_fractional;
           Alcotest.test_case "rational coefficients" `Quick test_rational_coefficients;
           Alcotest.test_case "zero rows" `Quick test_zero_rows;
+          Alcotest.test_case "Beale cycling LP" `Quick test_beale_cycling;
+          Alcotest.test_case "budgeted solve" `Quick test_solve_b_fuel;
           qcheck prop_feasible_by_construction;
           qcheck prop_optimal_is_exact_on_box;
         ] );

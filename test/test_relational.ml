@@ -233,6 +233,41 @@ let test_textfmt_errors () =
   bad "+";
   bad "%%%"
 
+let mentions msg needle =
+  let lm = String.length msg and ln = String.length needle in
+  let rec go i =
+    i + ln <= lm && (String.sub msg i ln = needle || go (i + 1))
+  in
+  go 0
+
+let test_textfmt_hardening () =
+  let fails_with needle s =
+    match Textfmt.parse_string s with
+    | exception Textfmt.Parse_error msg ->
+        if not (mentions msg needle) then
+          Alcotest.failf "error %S does not mention %S" msg needle
+    | _ -> Alcotest.fail "should not parse"
+  in
+  (* conflicting labels are rejected, naming the entity *)
+  fails_with "conflicting label" "E(a,b)\n+a\n-a\n";
+  fails_with "already labeled '+'" "E(a,b)\n+a\n-a\n";
+  fails_with "already labeled '-'" "E(a,b)\n-a\n+a\n";
+  (* repeating the same label is allowed *)
+  ignore (Textfmt.parse_string "E(a,b)\n+a\n+a\n");
+  (* arity caps on facts and on tuple widths; 64 itself is fine *)
+  let args n =
+    String.concat ", " (List.init n (Printf.sprintf "a%d"))
+  in
+  ignore (Textfmt.parse_string (Printf.sprintf "R(%s)\n" (args 64)));
+  fails_with "arity 65" (Printf.sprintf "R(%s)\n" (args 65));
+  fails_with "width 65" (Printf.sprintf "U((%s))\n" (args 65));
+  (* line-length cap *)
+  fails_with "exceeds the maximum 65536" ("# " ^ String.make 70_000 'x');
+  (* error messages name the offending token *)
+  fails_with "\"b\"" "E(a) b\n";
+  fails_with "'%'" "%%%";
+  fails_with "end of line" "E(a"
+
 let () =
   Alcotest.run "relational"
     [
@@ -271,5 +306,6 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_textfmt_roundtrip;
           Alcotest.test_case "tuples" `Quick test_textfmt_tuples;
           Alcotest.test_case "errors" `Quick test_textfmt_errors;
+          Alcotest.test_case "hardening" `Quick test_textfmt_hardening;
         ] );
     ]

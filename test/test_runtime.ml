@@ -1,0 +1,281 @@
+(* Tests for the budgeted runtime (Budget + Guard), the budgeted
+   solver entry points, and the graceful-degradation ladder.
+
+   The fault-injection properties run real solvers under tiny budgets
+   with randomized exhaustion points: whatever the budget, a budgeted
+   entry point must either agree with its unbudgeted counterpart or
+   fail with a clean structured resource failure — never hang, never
+   leak an exception. *)
+
+open Test_util
+
+(* --- Budget and Guard basics ---------------------------------------- *)
+
+let test_budget_validation () =
+  (match Budget.make ~fuel:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fuel 0 must be rejected");
+  (match Budget.make ~timeout:(-1.0) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative timeout must be rejected");
+  check bool_c "unlimited" true (Budget.is_unlimited Budget.unlimited);
+  check bool_c "limited" false (Budget.is_unlimited (Budget.make ~fuel:5 ()))
+
+let test_guard_ok () =
+  match Guard.run (Budget.make ~fuel:100 ()) (fun () -> 41 + 1) with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "expected Ok 42"
+
+let test_guard_fuel () =
+  match
+    Guard.run
+      (Budget.make ~fuel:3 ())
+      (fun () ->
+        for _ = 1 to 10 do
+          Budget.tick ~what:"test loop" ()
+        done)
+  with
+  | Error (Guard.Fuel_exhausted "test loop") -> ()
+  | Error f -> Alcotest.failf "unexpected %s" (Guard.failure_to_string f)
+  | Ok () -> Alcotest.fail "expected fuel exhaustion"
+
+let test_guard_timeout () =
+  (* an already-expired deadline must trip at the very first tick *)
+  match
+    Guard.run
+      (Budget.make ~timeout:0.0 ())
+      (fun () ->
+        while true do
+          Budget.tick ()
+        done)
+  with
+  | Error Guard.Timeout -> ()
+  | Error f -> Alcotest.failf "unexpected %s" (Guard.failure_to_string f)
+  | Ok () -> Alcotest.fail "expected timeout"
+
+let test_guard_maps_exceptions () =
+  (match Guard.run Budget.unlimited (fun () -> invalid_arg "boom") with
+  | Error (Guard.Solver_error "boom") -> ()
+  | _ -> Alcotest.fail "Invalid_argument must map to Solver_error");
+  match Guard.run Budget.unlimited (fun () -> raise Not_found) with
+  | Error (Guard.Solver_error _) -> ()
+  | _ -> Alcotest.fail "Not_found must map to Solver_error"
+
+let test_guard_restores_ambient () =
+  check bool_c "ambient starts unlimited" true
+    (Budget.is_unlimited (Budget.installed ()));
+  let outer = Budget.make ~fuel:1000 () in
+  let seen_inner = ref false in
+  (match
+     Guard.run outer (fun () ->
+         let inner = Budget.make ~fuel:5 () in
+         (match Guard.run inner (fun () -> Budget.installed () == inner) with
+         | Ok b -> seen_inner := b
+         | Error f ->
+             Alcotest.failf "inner run failed: %s" (Guard.failure_to_string f));
+         Budget.installed () == outer)
+   with
+  | Ok true -> ()
+  | _ -> Alcotest.fail "outer budget must be restored after a nested run");
+  check bool_c "inner budget installed during nested run" true !seen_inner;
+  check bool_c "ambient unlimited after" true
+    (Budget.is_unlimited (Budget.installed ()))
+
+let test_budget_refresh () =
+  let b = Budget.make ~fuel:10 () in
+  let burn () =
+    match
+      Guard.run b (fun () ->
+          while true do
+            Budget.tick ()
+          done)
+    with
+    | Error (Guard.Fuel_exhausted _) -> ()
+    | _ -> Alcotest.fail "expected fuel exhaustion"
+  in
+  burn ();
+  check bool_c "spent" true (Budget.remaining_fuel b = Some 0);
+  check bool_c "refilled" true
+    (Budget.remaining_fuel (Budget.refresh b) = Some 10)
+
+(* --- fault injection: budgeted entry points ------------------------- *)
+
+let langs =
+  [
+    Language.Cq_all;
+    Language.Cq_atoms { m = 1; p = None };
+    Language.Ghw 1;
+    Language.Fo;
+    Language.Fo_k 2;
+  ]
+
+(* Under a random tiny budget, [separable_b] either agrees with the
+   unbudgeted decision or reports a resource failure. *)
+let prop_separable_b_agrees =
+  QCheck.Test.make ~count:50
+    ~name:"separable_b: Ok agrees with unbudgeted, Error is structured"
+    (QCheck.pair (labeled_spec_arb ~max_nodes:4 ~max_edges:5)
+       (QCheck.int_range 1 200))
+    (fun (ls, fuel) ->
+      let t = training_of_labeled ls in
+      List.for_all
+        (fun lang ->
+          let expected = Cqfeat.separable lang t in
+          match
+            Cqfeat.separable_b ~budget:(Budget.make ~fuel ()) lang t
+          with
+          | Ok b -> b = expected
+          | Error f -> Guard.is_resource_failure f)
+        langs)
+
+let prop_simplex_b_structured =
+  QCheck.Test.make ~count:100
+    ~name:"Simplex.solve_b under tiny fuel: agree or structured failure"
+    (QCheck.pair (QCheck.int_range 1 60) (QCheck.int_range 1 6))
+    (fun (fuel, n) ->
+      (* box LP: minimize -sum x_i subject to 0 <= x_i <= i+1 *)
+      let unit i = Array.init n (fun j -> if i = j then Rat.one else Rat.zero) in
+      let rows =
+        List.concat
+          (List.init n (fun i ->
+               [
+                 { Simplex.coeffs = unit i; op = Simplex.Ge; rhs = Rat.zero };
+                 {
+                   Simplex.coeffs = unit i;
+                   op = Simplex.Le;
+                   rhs = Rat.of_int (i + 1);
+                 };
+               ]))
+      in
+      let objective = Array.make n Rat.minus_one in
+      let expected = Simplex.solve ~nvars:n ~rows ~objective () in
+      match
+        Simplex.solve_b ~budget:(Budget.make ~fuel ()) ~nvars:n ~rows
+          ~objective ()
+      with
+      | Ok (Simplex.Optimal (_, v)) -> begin
+          match expected with
+          | Simplex.Optimal (_, v') -> Rat.equal v v'
+          | _ -> false
+        end
+      | Ok Simplex.Infeasible -> expected = Simplex.Infeasible
+      | Ok (Simplex.Unbounded _) -> begin
+          match expected with Simplex.Unbounded _ -> true | _ -> false
+        end
+      | Error f -> Guard.is_resource_failure f)
+
+let prop_preorder_b_structured =
+  QCheck.Test.make ~count:40
+    ~name:"Cover_game.preorder_b under tiny fuel"
+    (QCheck.pair (spec_arb ~max_nodes:4 ~max_edges:5)
+       (QCheck.int_range 1 100))
+    (fun (spec, fuel) ->
+      let db = db_of_spec spec in
+      let ents = Db.entities db in
+      match
+        Cover_game.preorder_b ~budget:(Budget.make ~fuel ()) ~k:1 db ents
+      with
+      | Ok m -> m = Cover_game.preorder ~k:1 db ents
+      | Error f -> Guard.is_resource_failure f)
+
+(* --- the graceful-degradation ladder -------------------------------- *)
+
+let sample_training () =
+  training_of_labeled
+    {
+      spec = { nodes = 4; edges = [ (0, 1); (1, 2); (2, 3) ]; unary = [ 0 ] };
+      mask = 0b0001;
+    }
+
+let test_ladder_exact () =
+  let t = sample_training () in
+  let r =
+    Cq_sep.decide_with_fallback ~budget:(Budget.make ~fuel:10_000_000 ()) t
+  in
+  (match r.Cq_sep.provenance with
+  | Cq_sep.Exact -> ()
+  | p ->
+      Alcotest.failf "expected an exact answer, got %s"
+        (Format.asprintf "%a" Cq_sep.pp_provenance p));
+  check bool_c "answer matches unbudgeted" true
+    (r.Cq_sep.answer = Some (Cq_sep.separable t))
+
+let test_ladder_no_degrade () =
+  let t = sample_training () in
+  let r =
+    Cq_sep.decide_with_fallback ~degrade:false
+      ~budget:(Budget.make ~fuel:1 ())
+      t
+  in
+  match (r.Cq_sep.answer, r.Cq_sep.provenance) with
+  | None, Cq_sep.Gave_up (Guard.Fuel_exhausted _) -> ()
+  | _ -> Alcotest.fail "expected Gave_up with fuel exhaustion"
+
+let test_ladder_expired_deadline () =
+  (* an already-expired deadline exhausts every rung: the ladder gives
+     up with Timeout instead of hanging *)
+  let t = sample_training () in
+  let r =
+    Cq_sep.decide_with_fallback ~budget:(Budget.make ~timeout:0.0 ()) t
+  in
+  match (r.Cq_sep.answer, r.Cq_sep.provenance) with
+  | None, Cq_sep.Gave_up Guard.Timeout -> ()
+  | _ -> Alcotest.fail "expected Gave_up Timeout"
+
+(* Whatever the (random) exhaustion point, a ladder answer must be
+   provenance-coherent: Exact answers match the unbudgeted decision, a
+   positive degraded/approximate answer certifies CQ-separability
+   (CQ[m] ⊆ CQ), the approximate verdict is slack = 0, and a give-up
+   carries a resource failure. *)
+let prop_ladder_sound =
+  QCheck.Test.make ~count:50 ~name:"ladder: provenance-coherent and sound"
+    (QCheck.pair (labeled_spec_arb ~max_nodes:4 ~max_edges:5)
+       (QCheck.int_range 1 300))
+    (fun (ls, fuel) ->
+      let t = training_of_labeled ls in
+      let r =
+        Cq_sep.decide_with_fallback ~budget:(Budget.make ~fuel ()) t
+      in
+      let exact = Cq_sep.separable t in
+      match (r.Cq_sep.answer, r.Cq_sep.provenance) with
+      | Some b, Cq_sep.Exact -> b = exact
+      | Some true, (Cq_sep.Degraded _ | Cq_sep.Approximate _) -> exact
+      | Some false, Cq_sep.Approximate slack -> not (Rat.is_zero slack)
+      | Some false, Cq_sep.Degraded _ -> true
+      | None, Cq_sep.Gave_up f -> Guard.is_resource_failure f
+      | _ -> false)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "validation" `Quick test_budget_validation;
+          Alcotest.test_case "refresh" `Quick test_budget_refresh;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "ok" `Quick test_guard_ok;
+          Alcotest.test_case "fuel" `Quick test_guard_fuel;
+          Alcotest.test_case "timeout" `Quick test_guard_timeout;
+          Alcotest.test_case "exception mapping" `Quick
+            test_guard_maps_exceptions;
+          Alcotest.test_case "ambient nesting" `Quick
+            test_guard_restores_ambient;
+        ] );
+      ( "fault injection",
+        [
+          qcheck prop_separable_b_agrees;
+          qcheck prop_simplex_b_structured;
+          qcheck prop_preorder_b_structured;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "exact within budget" `Quick test_ladder_exact;
+          Alcotest.test_case "no-degrade gives up" `Quick
+            test_ladder_no_degrade;
+          Alcotest.test_case "expired deadline" `Quick
+            test_ladder_expired_deadline;
+          qcheck prop_ladder_sound;
+        ] );
+    ]

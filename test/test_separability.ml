@@ -480,6 +480,42 @@ weight 1/0
   bad "gibberish line
 "
 
+let test_language_of_string () =
+  let ok s expected =
+    match Language.of_string s with
+    | Ok l ->
+        check bool_c (Printf.sprintf "parse %S" s) true (l = expected)
+    | Error msg -> Alcotest.failf "%S should parse, got error: %s" s msg
+  in
+  let bad s =
+    match Language.of_string s with
+    | Error _ -> ()
+    | Ok l ->
+        Alcotest.failf "%S should be rejected, parsed as %s" s
+          (Language.to_string l)
+  in
+  ok "cq" Language.Cq_all;
+  ok " CQ " Language.Cq_all;
+  ok "cq[3]" (Language.Cq_atoms { m = 3; p = None });
+  ok "cq[2,1]" (Language.Cq_atoms { m = 2; p = Some 1 });
+  ok "ghw(2)" (Language.Ghw 2);
+  ok "fo" Language.Fo;
+  ok "fo2" (Language.Fo_k 2);
+  ok "epfo" Language.Epfo;
+  bad "";
+  bad "cq[0]";
+  bad "cq[-1]";
+  bad "cq[2,0]";
+  bad "cq[x]";
+  bad "cq[1,2,3]";
+  bad "cq[2";
+  bad "ghw(0)";
+  bad "ghw(x)";
+  bad "ghw(1";
+  bad "fo0";
+  bad "fox";
+  bad "datalog"
+
 let () =
   Alcotest.run "separability"
     [
@@ -519,6 +555,7 @@ let () =
           Alcotest.test_case "VC reduction star" `Quick test_vc_reduction_star;
           Alcotest.test_case "classify with dim" `Quick test_classify_with_dim;
           Alcotest.test_case "language membership" `Quick test_language_member;
+          Alcotest.test_case "language parsing" `Quick test_language_of_string;
           qcheck prop_vc_reduction_faithful;
           qcheck prop_dim_generate_round_trip;
           Alcotest.test_case "unbounded growth" `Quick test_unbounded_dimension_growth;
