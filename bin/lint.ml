@@ -1,0 +1,89 @@
+(* cqlint — static analysis over the repo's own sources.
+
+   Exit codes: 0 clean, 1 findings, 2 internal error (unparsable
+   source, unreadable/malformed baseline, bad flags). *)
+
+let usage = "cqlint [--root DIR] [--rules R1,R2,...] [--baseline FILE] [--json] [--write-baseline] [--quiet]"
+
+let () =
+  let root = ref "." in
+  let rules = ref Lint_finding.all_rules in
+  let baseline = ref None in
+  let json = ref false in
+  let write_baseline = ref false in
+  let quiet = ref false in
+  let bad_flags = ref [] in
+  let set_rules spec =
+    let parsed =
+      String.split_on_char ',' spec
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match Lint_finding.rule_of_string (String.trim s) with
+             | Some r -> r
+             | None ->
+                 bad_flags := Printf.sprintf "unknown rule %S" s :: !bad_flags;
+                 Lint_finding.R0)
+    in
+    rules := parsed
+  in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default: .)");
+      ( "--rules",
+        Arg.String set_rules,
+        "R1,R2,... enable only these rules (default: all of R1-R4)" );
+      ( "--baseline",
+        Arg.String (fun f -> baseline := Some f),
+        "FILE grandfather the findings listed (with reasons) in FILE" );
+      ("--json", Arg.Set json, " emit findings as a JSON array");
+      ( "--write-baseline",
+        Arg.Set write_baseline,
+        " print baseline lines for the current findings and exit 0" );
+      ("--quiet", Arg.Set quiet, " suppress the summary line");
+    ]
+  in
+  Arg.parse spec
+    (fun anon ->
+      bad_flags := Printf.sprintf "unexpected argument %S" anon :: !bad_flags)
+    usage;
+  (match !bad_flags with
+  | [] -> ()
+  | msgs ->
+      List.iter (Printf.eprintf "cqlint: %s\n") msgs;
+      exit 2);
+  let config =
+    {
+      Lint_driver.root = !root;
+      rules = !rules;
+      (* Regenerating the baseline must see the full finding list (and
+         must not require the old file to exist), so skip reading it. *)
+      baseline = (if !write_baseline then None else !baseline);
+    }
+  in
+  match Lint_driver.run config with
+  | Error msg ->
+      Printf.eprintf "cqlint: internal error: %s\n" msg;
+      exit 2
+  | Ok report ->
+      let open Lint_driver in
+      List.iter
+        (fun e -> Printf.eprintf "cqlint: warning: stale baseline entry: %s\n" e)
+        report.stale_baseline;
+      if !write_baseline then begin
+        List.iter
+          (fun f -> print_endline (Lint_driver.baseline_line f))
+          report.findings;
+        exit 0
+      end;
+      if !json then print_endline (Lint_finding.list_to_json report.findings)
+      else
+        List.iter
+          (fun f -> print_endline (Lint_finding.to_text f))
+          report.findings;
+      if not !quiet then
+        Printf.eprintf
+          "cqlint: %d file(s), %d finding(s), %d suppressed, %d baselined\n"
+          report.files_checked
+          (List.length report.findings)
+          report.suppressed report.baselined;
+      exit (if report.findings = [] then 0 else 1)

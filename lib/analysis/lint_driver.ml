@@ -1,0 +1,248 @@
+let solver_dirs =
+  [ "core"; "cq"; "relational"; "folang"; "covergame"; "lp"; "linsep" ]
+
+type config = {
+  root : string;
+  rules : Lint_finding.rule list;
+  baseline : string option;
+}
+
+let default_config ~root = { root; rules = Lint_finding.all_rules; baseline = None }
+
+type report = {
+  findings : Lint_finding.t list;
+  files_checked : int;
+  suppressed : int;
+  baselined : int;
+  stale_baseline : string list;
+}
+
+(* --- baseline --------------------------------------------------------- *)
+
+type baseline_entry = {
+  b_rule : Lint_finding.rule;
+  b_file : string;
+  b_key : string;
+  b_reason : string;
+}
+
+let split_reason_line line =
+  (* " — " (em dash) or " -- " separates entry from reason. *)
+  let try_sep sep =
+    let n = String.length line and sn = String.length sep in
+    let rec go i =
+      if i + sn > n then None
+      else if String.sub line i sn = sep then
+        Some (String.sub line 0 i, String.sub line (i + sn) (n - i - sn))
+      else go (i + 1)
+    in
+    go 0
+  in
+  match try_sep " \xe2\x80\x94 " with
+  | Some _ as r -> r
+  | None -> try_sep " -- "
+
+let parse_baseline contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> begin
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+        else
+          match split_reason_line trimmed with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "baseline line %d: missing the mandatory \xe2\x80\x94 \
+                    reason separator: %S"
+                   lineno trimmed)
+          | Some (entry, reason) -> begin
+              let reason = String.trim reason in
+              if reason = "" then
+                Error
+                  (Printf.sprintf
+                     "baseline line %d: empty reason (every grandfathered \
+                      finding needs a justification)"
+                     lineno)
+              else
+                match
+                  String.split_on_char ' ' (String.trim entry)
+                  |> List.filter (fun s -> s <> "")
+                with
+                | [ rule; file; key ] -> begin
+                    match Lint_finding.rule_of_string rule with
+                    | Some b_rule ->
+                        go (lineno + 1)
+                          ({ b_rule; b_file = file; b_key = key;
+                             b_reason = reason }
+                          :: acc)
+                          rest
+                    | None ->
+                        Error
+                          (Printf.sprintf "baseline line %d: unknown rule %S"
+                             lineno rule)
+                  end
+                | _ ->
+                    Error
+                      (Printf.sprintf
+                         "baseline line %d: expected `RULE file key \
+                          \xe2\x80\x94 reason`, got %S"
+                         lineno trimmed)
+            end
+      end
+  in
+  go 1 [] lines
+
+let baseline_line (f : Lint_finding.t) =
+  Printf.sprintf "%s %s %s \xe2\x80\x94 TODO: justify or fix"
+    (Lint_finding.rule_to_string f.rule)
+    f.file f.key
+
+let matches_baseline entries (f : Lint_finding.t) =
+  List.exists
+    (fun e ->
+      e.b_rule = f.Lint_finding.rule
+      && e.b_file = f.Lint_finding.file
+      && e.b_key = f.Lint_finding.key)
+    entries
+
+(* --- per-file and tree runs ------------------------------------------ *)
+
+let lint_source_counted ~rules ~solver (src : Lint_source.t) =
+  let enabled r = List.mem r rules in
+  let raw =
+    List.concat
+      [
+        (if solver && enabled Lint_finding.R1 then Lint_rules.r1_budget src
+         else []);
+        (if enabled Lint_finding.R2 then Lint_rules.r2_exceptions src else []);
+        (if enabled Lint_finding.R3 then Lint_rules.r3_comparisons src
+         else []);
+        (if solver && enabled Lint_finding.R4 then Lint_rules.r4_interface src
+         else []);
+      ]
+  in
+  (* R0 findings (malformed directives) ride along unconditionally:
+     a broken suppression must never pass silently. *)
+  Lint_source.apply src raw
+
+let lint_source ~rules ~solver src =
+  fst (lint_source_counted ~rules ~solver src)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let list_dir path =
+  match Sys.readdir path with
+  | entries ->
+      Array.sort String.compare entries;
+      Ok (Array.to_list entries)
+  | exception Sys_error msg -> Error msg
+
+let ( let* ) = Result.bind
+
+let run config =
+  let lib_dir = Filename.concat config.root "lib" in
+  let* baseline =
+    match config.baseline with
+    | None -> Ok []
+    | Some path ->
+        let* contents = read_file path in
+        parse_baseline contents
+  in
+  let* subdirs = list_dir lib_dir in
+  let subdirs =
+    List.filter
+      (fun d -> Sys.is_directory (Filename.concat lib_dir d))
+      subdirs
+  in
+  let enabled r = List.mem r config.rules in
+  let* per_dir =
+    List.fold_left
+      (fun acc dir ->
+        let* acc = acc in
+        let dir_path = Filename.concat lib_dir dir in
+        let* entries = list_dir dir_path in
+        let ml = List.filter (fun f -> Filename.check_suffix f ".ml") entries in
+        let mli =
+          List.filter (fun f -> Filename.check_suffix f ".mli") entries
+        in
+        let solver = List.mem dir solver_dirs in
+        let structural =
+          if enabled Lint_finding.R4 then
+            Lint_rules.r4_missing_mli
+              ~dir:(Filename.concat "lib" dir)
+              ~ml ~mli
+          else []
+        in
+        let* file_findings =
+          List.fold_left
+            (fun acc file ->
+              let* acc = acc in
+              let fs_path = Filename.concat dir_path file in
+              let rel_path =
+                Filename.concat (Filename.concat "lib" dir) file
+              in
+              let* src = Lint_source.load ~path:rel_path fs_path in
+              let findings, nsup =
+                lint_source_counted ~rules:config.rules ~solver src
+              in
+              Ok ((1, nsup, findings) :: acc))
+            (Ok []) (ml @ mli)
+        in
+        Ok ((structural, file_findings) :: acc))
+      (Ok []) subdirs
+  in
+  let files_checked =
+    List.fold_left
+      (fun n (_, per_file) ->
+        List.fold_left (fun n (c, _, _) -> n + c) n per_file)
+      0 per_dir
+  in
+  let suppressed =
+    List.fold_left
+      (fun n (_, per_file) ->
+        List.fold_left (fun n (_, s, _) -> n + s) n per_file)
+      0 per_dir
+  in
+  let all =
+    List.concat_map
+      (fun (structural, per_file) ->
+        structural @ List.concat_map (fun (_, _, fs) -> fs) per_file)
+      per_dir
+  in
+  (* Suppression filtering already happened per file; now apply the
+     baseline. *)
+  let kept, grandfathered =
+    List.partition (fun f -> not (matches_baseline baseline f)) all
+  in
+  let stale =
+    List.filter_map
+      (fun e ->
+        if
+          List.exists
+            (fun (f : Lint_finding.t) ->
+              e.b_rule = f.rule && e.b_file = f.file && e.b_key = f.key)
+            all
+        then None
+        else
+          Some
+            (Printf.sprintf "%s %s %s"
+               (Lint_finding.rule_to_string e.b_rule)
+               e.b_file e.b_key))
+      baseline
+  in
+  Ok
+    {
+      findings = List.sort Lint_finding.compare kept;
+      files_checked;
+      suppressed;
+      baselined = List.length grandfathered;
+      stale_baseline = stale;
+    }

@@ -1,0 +1,64 @@
+(** The cqlint driver: walk [lib/], run the enabled rules, apply
+    suppressions and the committed baseline, and produce a report.
+
+    The baseline file grandfathers pre-existing findings without
+    touching the offending lines. One finding per line:
+
+    {v R1 lib/cq/join_tree.ml rec:build — reason text v}
+
+    (rule, root-relative file, stable key, em-dash — or [--] — then a
+    mandatory reason). [#]-comments and blank lines are ignored.
+    Matching is by (rule, file, key), never by line number, so
+    unrelated edits don't invalidate the baseline; entries that no
+    longer match anything are reported as stale. *)
+
+val solver_dirs : string list
+(** The worst-case-exponential libraries R1/R4b apply to:
+    [core cq relational folang covergame lp linsep]. *)
+
+type config = {
+  root : string;  (** directory containing [lib/] *)
+  rules : Lint_finding.rule list;  (** enabled rules *)
+  baseline : string option;  (** baseline file path, if any *)
+}
+
+val default_config : root:string -> config
+
+type report = {
+  findings : Lint_finding.t list;  (** survivors, sorted *)
+  files_checked : int;
+  suppressed : int;  (** silenced by reasoned allow-directives *)
+  baselined : int;  (** grandfathered by the baseline file *)
+  stale_baseline : string list;
+      (** baseline entries that matched no finding *)
+}
+
+val lint_source :
+  rules:Lint_finding.rule list ->
+  solver:bool ->
+  Lint_source.t ->
+  Lint_finding.t list
+(** Run the per-file rules on one parsed source (R1 and R4b gated on
+    [solver]) and apply its suppression directives. This is the unit
+    the linter's own tests drive. *)
+
+val run : config -> (report, string) result
+(** Lint every [.ml]/[.mli] under [root/lib]. [Error] on unreadable or
+    unparsable sources and on malformed baseline files — internal
+    errors, distinct from findings (exit 2 vs 1). *)
+
+type baseline_entry = {
+  b_rule : Lint_finding.rule;
+  b_file : string;
+  b_key : string;
+  b_reason : string;
+}
+
+val parse_baseline : string -> (baseline_entry list, string) result
+(** Parse baseline file contents (not a path). Every entry must carry
+    a reason. *)
+
+val baseline_line : Lint_finding.t -> string
+(** Render a finding as a baseline line with a [TODO] reason — the
+    [--write-baseline] starting point; reasons must be filled in by a
+    human. *)

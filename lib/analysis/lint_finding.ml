@@ -1,0 +1,95 @@
+type rule = R0 | R1 | R2 | R3 | R4
+
+let all_rules = [ R1; R2; R3; R4 ]
+
+let rule_to_string = function
+  | R0 -> "R0"
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+
+let rule_of_string = function
+  | "R0" | "r0" -> Some R0
+  | "R1" | "r1" -> Some R1
+  | "R2" | "r2" -> Some R2
+  | "R3" | "r3" -> Some R3
+  | "R4" | "r4" -> Some R4
+  | _ -> None
+
+let rule_doc = function
+  | R0 -> "well-formed cqlint directives (malformed/unreasoned suppressions)"
+  | R1 ->
+      "budget discipline: while/for loops and self-recursive functions in \
+       solver libraries must Budget.tick"
+  | R2 ->
+      "exception hygiene: only Guard-convertible or local raises; _b entry \
+       points must wrap their body in Guard.run"
+  | R3 ->
+      "comparison safety: no polymorphic =/compare/Hashtbl.hash on domain \
+       values (Rat.t, Bigint.t, structural keys)"
+  | R4 ->
+      "interface hygiene: every module has an .mli; solver entry points have \
+       budgeted _b counterparts"
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  key : string;
+  message : string;
+}
+
+let v ~rule ~file ~line ~col ~key message =
+  { rule; file; line; col; key; message }
+
+let make ~rule ~file ~(loc : Location.t) ~key message =
+  let p = loc.loc_start in
+  v ~rule ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) ~key message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.key b.key
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" f.file f.line f.col
+    (rule_to_string f.rule) f.key f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"key\":\"%s\",\"message\":\"%s\"}"
+    (rule_to_string f.rule) (json_escape f.file) f.line f.col
+    (json_escape f.key) (json_escape f.message)
+
+let list_to_json fs =
+  match fs with
+  | [] -> "[]"
+  | fs ->
+      let body = String.concat ",\n  " (List.map to_json fs) in
+      Printf.sprintf "[\n  %s\n]" body

@@ -1,0 +1,52 @@
+(** Lint findings: what a rule reported, where, and under which stable
+    key (the key, not the line number, is what the baseline file
+    matches on, so findings survive unrelated edits). *)
+
+(** The rule catalogue. [R0] is the meta-rule guarding the linter's
+    own directive syntax: a [(* cqlint: allow ... *)] comment that does
+    not parse — in particular one missing the mandatory reason — is
+    itself a finding, so suppressions cannot silently rot. *)
+type rule =
+  | R0  (** well-formed [cqlint] directives (always on) *)
+  | R1  (** budget discipline: solver loops and recursion must tick *)
+  | R2  (** exception hygiene: Guard-convertible raises, guarded [_b] *)
+  | R3  (** comparison safety: no polymorphic compare/hash on domain types *)
+  | R4  (** interface hygiene: [.mli] coverage and [_b] counterparts *)
+
+val all_rules : rule list
+(** [R1; R2; R3; R4] — the toggleable rules ([R0] is always enabled). *)
+
+val rule_to_string : rule -> string
+val rule_of_string : string -> rule option
+
+val rule_doc : rule -> string
+(** One-line description for [--help] and reports. *)
+
+type t = {
+  rule : rule;
+  file : string;  (** path as reported, relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in [Lexing.position] *)
+  key : string;
+      (** stable, line-independent identity within [file], e.g.
+          [rec:solve], [while@drain#1], [val:generate] *)
+  message : string;
+}
+
+val make :
+  rule:rule -> file:string -> loc:Location.t -> key:string -> string -> t
+
+val v :
+  rule:rule -> file:string -> line:int -> col:int -> key:string -> string -> t
+
+val compare : t -> t -> int
+(** Orders by file, then line, column, rule, key. *)
+
+val to_text : t -> string
+(** [file:line:col: RULE [key] message] — one line, compiler-style. *)
+
+val to_json : t -> string
+(** One finding as a JSON object (no trailing newline). *)
+
+val list_to_json : t list -> string
+(** A JSON array of findings, one per line, suitable for artifacts. *)

@@ -23,6 +23,7 @@ let pad ~eps (t : Labeling.training) =
      budget(s) ≥ s/2. *)
   let budget_of s = floor_rat (Rat.mul eps (Rat.of_int ((copies * n) + s))) in
   let rec find_s s =
+    Budget.tick ~what:"apx pad: padding search" ();
     if budget_of s - (s / 2) < copies then s else find_s (s + 2)
   in
   let padding = find_s 0 in
@@ -32,15 +33,18 @@ let pad ~eps (t : Labeling.training) =
   let copy_db i = Db.map_elems (copy_element ~copy:i) t.db in
   let db = ref Db.empty in
   for i = 1 to copies do
+    Budget.tick ~what:"apx pad: database copies" ();
     db := Db.union !db (copy_db i)
   done;
   let labeled = ref [] in
   for i = 1 to copies do
+    Budget.tick ~what:"apx pad: label copies" ();
     List.iter
       (fun (e, l) -> labeled := (copy_element ~copy:i e, l) :: !labeled)
       (Labeling.bindings t.labeling)
   done;
   for j = 1 to padding do
+    Budget.tick ~what:"apx pad: padding elements" ();
     let p = Elem.sym (Printf.sprintf "pad_%d" j) in
     db := Db.add (Fact.make_l "pad" [ p ]) (Db.add_entity p !db);
     labeled :=

@@ -56,3 +56,32 @@ val apx_separable : m:int -> ?p:int -> eps:Rat.t -> Labeling.training -> bool
     @raise Invalid_argument if no classifier meets the [eps] budget. *)
 val apx_classify :
   m:int -> ?p:int -> eps:Rat.t -> Labeling.training -> Db.t -> Labeling.t * int
+
+(** Budgeted counterparts of the entry points above, in the style of
+    {!separable_b}: each runs under the given budget (default: the
+    ambient one) and converts resource exhaustion into a structured
+    [Error]. *)
+
+val pruned_features_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> Labeling.training ->
+  (Statistic.t, Guard.failure) result
+
+val generate_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> Labeling.training ->
+  ((Statistic.t * Linsep.classifier) option, Guard.failure) result
+
+val classify_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> Labeling.training -> Db.t ->
+  (Labeling.t, Guard.failure) result
+
+val min_errors_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> ?cap:int -> Labeling.training ->
+  ((int * Statistic.t * Linsep.classifier) option, Guard.failure) result
+
+val apx_separable_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> eps:Rat.t -> Labeling.training ->
+  (bool, Guard.failure) result
+
+val apx_classify_b :
+  ?budget:Budget.t -> m:int -> ?p:int -> eps:Rat.t -> Labeling.training ->
+  Db.t -> (Labeling.t * int, Guard.failure) result

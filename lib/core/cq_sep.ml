@@ -11,16 +11,19 @@ let hom_preorder db entities =
   in
   (* The homomorphism preorder is reflexive and transitive; settle
      forced arcs before running searches, as in Cover_game.preorder. *)
+  (* cqlint: allow R1 — reflexive pass bounded by the entity count *)
   for i = 0 to n - 1 do
     set i i true
   done;
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
+      Budget.tick ~what:"cq sep: hom preorder" ();
       if not known.(i).(j) then begin
         let v = Hom.pointed db [ ents.(i) ] db [ ents.(j) ] in
         set i j v;
         if v then
           for l = 0 to n - 1 do
+            Budget.tick ~what:"cq sep: hom preorder closure" ();
             if known.(j).(l) && m.(j).(l) then set i l true;
             if known.(l).(i) && m.(l).(i) then set l j true
           done
@@ -91,6 +94,20 @@ let separable_b ?budget t =
 let apx_relabel_b ?budget t =
   Guard.run (default_budget budget) (fun () -> apx_relabel t)
 
+let chain_b ?budget t = Guard.run (default_budget budget) (fun () -> chain t)
+
+let inseparable_witness_b ?budget t =
+  Guard.run (default_budget budget) (fun () -> inseparable_witness t)
+
+let generate_b ?budget ?minimize t =
+  Guard.run (default_budget budget) (fun () -> generate ?minimize t)
+
+let classify_b ?budget t eval_db =
+  Guard.run (default_budget budget) (fun () -> classify t eval_db)
+
+let apx_separable_b ?budget ~eps t =
+  Guard.run (default_budget budget) (fun () -> apx_separable ~eps t)
+
 type provenance =
   | Exact
   | Degraded of Language.t
@@ -129,6 +146,7 @@ let decide_with_fallback ?budget ?(degrade = true) ?(rungs = [ 3; 2; 1 ]) t =
         { answer = Some (Rat.is_zero slack); provenance = Approximate slack }
     | Error f -> { answer = None; provenance = Gave_up f }
   in
+  (* cqlint: allow R1 — recursion bounded by the rung list *)
   let rec down = function
     | [] -> slack_rung ()
     | m :: rest -> begin

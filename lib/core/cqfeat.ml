@@ -50,6 +50,8 @@ let fok_min_disagreement ~k (t : Labeling.training) =
   let classes =
     List.fold_left
       (fun classes e ->
+        (* cqlint: allow R1 — recursion bounded by the class count; the
+           equivalence test inside ticks *)
         let rec place = function
           | [] -> [ [ e ] ]
           | (rep :: _ as cls) :: rest ->
@@ -123,9 +125,10 @@ let generate ?(ghw_depth = 2) ?dim lang t =
   | Language.Cq_all | Language.Epfo -> Cq_sep.generate t
   | Language.Cq_atoms { m; p } -> Atoms_sep.generate ~m ?p t
   | Language.Ghw k -> Ghw_sep.generate ~k ~depth:ghw_depth t
-      | Language.Fo | Language.Fo_k _ ->
-          invalid_arg
-            "Cqfeat.generate: FO features are not conjunctive queries"
+      | (Language.Fo | Language.Fo_k _) as lang ->
+          Guard.solver_error
+            "Cqfeat.generate: %s features are not conjunctive queries"
+            (Language.to_string lang)
     end
 
 let classify ?dim lang t eval_db =
@@ -134,8 +137,9 @@ let classify ?dim lang t eval_db =
       match Dim_sep.generate ~dim lang t with
       | Some (stat, c) -> Statistic.induced_labeling stat c eval_db
       | None ->
-          invalid_arg
-            "Cqfeat.classify: not separable within the dimension bound"
+          Guard.solver_error
+            "Cqfeat.classify: %s is not separable within dimension %d"
+            (Language.to_string lang) dim
     end
   | None -> begin
       match (lang : Language.t) with
@@ -152,18 +156,23 @@ let apx_classify ~eps lang t eval_db =
       let labeling, err = Ghw_sep.apx_classify ~k t eval_db in
       let n = List.length (Db.entities t.Labeling.db) in
       if err > error_budget ~eps n then
-        invalid_arg "Cqfeat.apx_classify: error exceeds the eps budget";
+        Guard.solver_error
+          "Cqfeat.apx_classify: %d errors exceed the eps budget %d" err
+          (error_budget ~eps n);
       (labeling, err)
   | Language.Cq_atoms { m; p } -> Atoms_sep.apx_classify ~m ?p ~eps t eval_db
   | Language.Cq_all | Language.Epfo ->
       let relabeling, err = Cq_sep.apx_relabel t in
       let n = List.length (Db.entities t.Labeling.db) in
       if err > error_budget ~eps n then
-        invalid_arg "Cqfeat.apx_classify: error exceeds the eps budget";
+        Guard.solver_error
+          "Cqfeat.apx_classify: %d errors exceed the eps budget %d" err
+          (error_budget ~eps n);
       let t' = Labeling.training t.Labeling.db relabeling in
       (Cq_sep.classify t' eval_db, err)
-  | Language.Fo | Language.Fo_k _ ->
-      invalid_arg "Cqfeat.apx_classify: not supported for FO features"
+  | (Language.Fo | Language.Fo_k _) as lang ->
+      Guard.solver_error "Cqfeat.apx_classify: not supported for %s features"
+        (Language.to_string lang)
 
 let min_dimension ?max_dim lang t = Dim_sep.min_dimension ?max_dim lang t
 
@@ -187,3 +196,6 @@ let classify_b ?budget ?dim lang t eval_db =
 
 let min_dimension_b ?budget ?max_dim lang t =
   Guard.run (default_budget budget) (fun () -> min_dimension ?max_dim lang t)
+
+let apx_classify_b ?budget ~eps lang t eval_db =
+  Guard.run (default_budget budget) (fun () -> apx_classify ~eps lang t eval_db)

@@ -30,9 +30,9 @@ val apx_separable : ?dim:int -> eps:Rat.t -> Language.t -> Labeling.training -> 
     {!Unravel.node_count} before raising the depth. With [dim] the
     statistic has at most [dim] features, realized through QBE
     explanations ({!Dim_sep.generate}).
-    @raise Invalid_argument for [Fo]/[Fo_k] (FO features are not CQs;
-    FO separability/classification never needs materialized features
-    here). *)
+    @raise Budget.Exhausted with [Solver_error] for [Fo]/[Fo_k] (FO
+    features are not CQs; FO separability/classification never needs
+    materialized features here). *)
 val generate :
   ?ghw_depth:int -> ?dim:int -> Language.t -> Labeling.training ->
   (Statistic.t * Linsep.classifier) option
@@ -42,14 +42,14 @@ val generate :
     separating statistic for [t]. For [Ghw k] without [dim] this is
     Algorithm 1 and materializes nothing; with [dim] a ≤[dim]-feature
     statistic is generated and applied.
-    @raise Invalid_argument if [t] is not [L]-separable (within the
-    bound). *)
+    @raise Budget.Exhausted with [Solver_error] if [t] is not
+    [L]-separable (within the bound). *)
 val classify : ?dim:int -> Language.t -> Labeling.training -> Db.t -> Labeling.t
 
 (** [apx_classify ~eps lang t eval_db] — [L]-ApxCls: labeling of
     [eval_db] plus the training error incurred.
-    @raise Invalid_argument if [t] is not [L]-separable with error
-    [eps], or for [Fo]. *)
+    @raise Budget.Exhausted with [Solver_error] if [t] is not
+    [L]-separable with error [eps], or for [Fo]. *)
 val apx_classify :
   eps:Rat.t -> Language.t -> Labeling.training -> Db.t -> Labeling.t * int
 
@@ -85,3 +85,7 @@ val classify_b :
 val min_dimension_b :
   ?budget:Budget.t -> ?max_dim:int -> Language.t -> Labeling.training ->
   (int option, Guard.failure) result
+
+val apx_classify_b :
+  ?budget:Budget.t -> eps:Rat.t -> Language.t -> Labeling.training -> Db.t ->
+  (Labeling.t * int, Guard.failure) result

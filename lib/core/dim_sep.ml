@@ -1,14 +1,17 @@
 let subsets_of_entities entities =
   let n = List.length entities in
   if n > 20 then
-    invalid_arg
-      "Dim_sep: more than 20 entities — the subset enumeration behind \
-       Sep[ℓ] for CQ/GHW(k) is exponential (Theorem 6.6)";
+    Guard.solver_error
+      "Dim_sep.subsets_of_entities: %d entities exceed the 20-entity cap — \
+       the subset enumeration behind Sep[ℓ] for CQ/GHW(k) is exponential \
+       (Theorem 6.6)"
+      n;
   let arr = Array.of_list entities in
   let out = ref [] in
   for mask = 1 to (1 lsl n) - 1 do
     let s = ref Elem.Set.empty in
     for i = 0 to n - 1 do
+      Budget.tick ~what:"dim: subset enumeration" ();
       if mask land (1 lsl i) <> 0 then s := Elem.Set.add arr.(i) !s
     done;
     out := !s :: !out
@@ -19,9 +22,10 @@ let realizable_sets lang (t : Labeling.training) =
   let entities = Db.entities t.db in
   match (lang : Language.t) with
   | Fo | Fo_k _ | Epfo ->
-      invalid_arg
-        "Dim_sep.realizable_sets: FO-style languages collapse to dimension 1 \
-         (Prop 8.1 / Cor 8.5); use Fo_sep or Pebble_game"
+      Guard.solver_error
+        "Dim_sep.realizable_sets: %s collapses to dimension 1 (Prop 8.1 / \
+         Cor 8.5); use Fo_sep or Pebble_game"
+        (Language.to_string lang)
   | Cq_atoms { m; p } ->
       let features = Atoms_sep.all_features ~m ?p t.db in
       let seen = Hashtbl.create 64 in
@@ -101,6 +105,7 @@ let witness_with_sets ~dim ~sets (t : Labeling.training) =
   in
   (* Sizes 0..dim: combinations of column indices. *)
   let rec combos size start acc =
+    Budget.tick ~what:"dim: feature combination search" ();
     if size = 0 then check (List.rev acc)
     else
       for c = start to ncols - size do
@@ -158,6 +163,7 @@ let min_errors_with_sets ~dim ~sets ?cap (t : Labeling.training) =
     end
   in
   let rec combos size start acc =
+    Budget.tick ~what:"dim: feature combination search" ();
     if size = 0 then consider (List.rev acc)
     else
       for c = start to ncols - size do
@@ -207,6 +213,7 @@ let realize_set ?(ghw_depth_cap = 8) lang (t : Labeling.training) s =
          with a cap). *)
       let product, point = Qbe.product_of_positives inst in
       let rec try_depth depth =
+        Budget.tick ~what:"dim: unraveling depth search" ();
         if depth > ghw_depth_cap then None
         else begin
           let q = Unravel.unravel ~k ~depth (product, point) in
@@ -216,7 +223,9 @@ let realize_set ?(ghw_depth_cap = 8) lang (t : Labeling.training) s =
       in
       try_depth 1
   | Fo | Fo_k _ ->
-      invalid_arg "Dim_sep.realize_set: FO features are not CQs"
+      Guard.solver_error "Dim_sep.realize_set: %s features are not \
+                          conjunctive queries"
+        (Language.to_string lang)
 
 let generate ?ghw_depth_cap ~dim lang (t : Labeling.training) =
   let search_lang =
@@ -232,8 +241,10 @@ let generate ?ghw_depth_cap ~dim lang (t : Labeling.training) =
             match realize_set ?ghw_depth_cap search_lang t s with
             | Some q -> q
             | None ->
-                invalid_arg
-                  "Dim_sep.generate: a realizable set could not be                    materialized (raise ghw_depth_cap)")
+                Guard.solver_error
+                  "Dim_sep.generate: a realizable set of %d entities could \
+                   not be materialized (raise ghw_depth_cap)"
+                  (Elem.Set.cardinal s))
           chosen
       in
       Some (features, classifier)
@@ -241,7 +252,9 @@ let generate ?ghw_depth_cap ~dim lang (t : Labeling.training) =
 let min_dimension ?max_dim lang (t : Labeling.training) =
   let n = List.length (Db.entities t.db) in
   let max_dim = match max_dim with Some d -> d | None -> n in
-  let rec go d = if d > max_dim then None
+  let rec go d =
+    Budget.tick ~what:"dim: dimension search" ();
+    if d > max_dim then None
     else if separable ~dim:d lang t then Some d
     else go (d + 1)
   in
@@ -250,7 +263,7 @@ let min_dimension ?max_dim lang (t : Labeling.training) =
 (* --- Lemma 6.5: QBE ≤p Sep[ℓ] ---------------------------------------- *)
 
 let qbe_to_sep ~l (inst : Qbe.instance) =
-  if l < 1 then invalid_arg "Dim_sep.qbe_to_sep: l must be >= 1";
+  if l < 1 then Guard.solver_error "Dim_sep.qbe_to_sep: l must be >= 1, got %d" l;
   let cminus = Elem.sym "qbe_cminus" in
   let cs = List.init (l - 1) (fun i -> Elem.sym (Printf.sprintf "qbe_c%d" i)) in
   let db =
@@ -270,7 +283,33 @@ let qbe_to_sep ~l (inst : Qbe.instance) =
   in
   Labeling.training db (Labeling.of_list labeled)
 
+(* --- budgeted variants ---------------------------------------------- *)
+
+let default_budget = function Some b -> b | None -> Budget.installed ()
+
 let separable_b ?budget ~dim lang t =
-  Guard.run
-    (match budget with Some b -> b | None -> Budget.installed ())
-    (fun () -> separable ~dim lang t)
+  Guard.run (default_budget budget) (fun () -> separable ~dim lang t)
+
+let realizable_sets_b ?budget lang t =
+  Guard.run (default_budget budget) (fun () -> realizable_sets lang t)
+
+let separable_with_sets_b ?budget ~dim ~sets t =
+  Guard.run (default_budget budget) (fun () -> separable_with_sets ~dim ~sets t)
+
+let witness_with_sets_b ?budget ~dim ~sets t =
+  Guard.run (default_budget budget) (fun () -> witness_with_sets ~dim ~sets t)
+
+let min_errors_with_sets_b ?budget ~dim ~sets ?cap t =
+  Guard.run (default_budget budget) (fun () ->
+      min_errors_with_sets ~dim ~sets ?cap t)
+
+let realize_set_b ?budget ?ghw_depth_cap lang t s =
+  Guard.run (default_budget budget) (fun () ->
+      realize_set ?ghw_depth_cap lang t s)
+
+let generate_b ?budget ?ghw_depth_cap ~dim lang t =
+  Guard.run (default_budget budget) (fun () ->
+      generate ?ghw_depth_cap ~dim lang t)
+
+let min_dimension_b ?budget ?max_dim lang t =
+  Guard.run (default_budget budget) (fun () -> min_dimension ?max_dim lang t)

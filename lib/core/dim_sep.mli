@@ -20,8 +20,8 @@
 (** [realizable_sets lang t] is the distinct nonempty [L]-realizable
     indicator sets over [t]'s entities (the empty set is excluded: a
     constantly-negative feature never helps separation).
-    @raise Invalid_argument for [Fo]/[Epfo] (use {!Fo_sep}; FO
-    dimension collapses anyway, Prop 8.1). *)
+    @raise Budget.Exhausted with [Solver_error] for [Fo]/[Epfo] (use
+    {!Fo_sep}; FO dimension collapses anyway, Prop 8.1). *)
 val realizable_sets : Language.t -> Labeling.training -> Elem.Set.t list
 
 (** [separable_with_sets ~dim ~sets t] decides whether at most [dim] of
@@ -68,8 +68,8 @@ val realize_set :
 (** [generate ?ghw_depth_cap ~dim lang t] — bounded-dimension feature
     generation: a statistic of at most [dim] features of [lang] and a
     separating classifier, when they exist.
-    @raise Invalid_argument if a chosen set resists materialization
-    within the depth cap (GHW only). *)
+    @raise Budget.Exhausted with [Solver_error] if a chosen set resists
+    materialization within the depth cap (GHW only). *)
 val generate :
   ?ghw_depth_cap:int -> dim:int -> Language.t -> Labeling.training ->
   (Cq.t list * Linsep.classifier) option
@@ -85,5 +85,40 @@ val min_dimension : ?max_dim:int -> Language.t -> Labeling.training -> int optio
     [inst] has an [L]-explanation iff the result is [L]-separable by a
     statistic with at most [l] features. Requires the lemma's input
     restriction [S⁻ = dom(D) ∖ S⁺] (entities aside).
-    @raise Invalid_argument if [l < 1]. *)
+    @raise Budget.Exhausted with [Solver_error] if [l < 1]. *)
 val qbe_to_sep : l:int -> Qbe.instance -> Labeling.training
+
+(** Budgeted counterparts of the entry points above, in the style of
+    {!separable_b}: each runs under the given budget (default: the
+    ambient one) and converts resource exhaustion — and the structured
+    solver errors above — into an [Error]. *)
+
+val realizable_sets_b :
+  ?budget:Budget.t -> Language.t -> Labeling.training ->
+  (Elem.Set.t list, Guard.failure) result
+
+val separable_with_sets_b :
+  ?budget:Budget.t -> dim:int -> sets:Elem.Set.t list -> Labeling.training ->
+  (bool, Guard.failure) result
+
+val witness_with_sets_b :
+  ?budget:Budget.t -> dim:int -> sets:Elem.Set.t list -> Labeling.training ->
+  ((Elem.Set.t list * Linsep.classifier) option, Guard.failure) result
+
+val min_errors_with_sets_b :
+  ?budget:Budget.t -> dim:int -> sets:Elem.Set.t list -> ?cap:int ->
+  Labeling.training ->
+  ((int * Elem.Set.t list * Linsep.classifier) option, Guard.failure) result
+
+val realize_set_b :
+  ?budget:Budget.t -> ?ghw_depth_cap:int -> Language.t -> Labeling.training ->
+  Elem.Set.t -> (Cq.t option, Guard.failure) result
+
+val generate_b :
+  ?budget:Budget.t -> ?ghw_depth_cap:int -> dim:int -> Language.t ->
+  Labeling.training ->
+  ((Cq.t list * Linsep.classifier) option, Guard.failure) result
+
+val min_dimension_b :
+  ?budget:Budget.t -> ?max_dim:int -> Language.t -> Labeling.training ->
+  (int option, Guard.failure) result

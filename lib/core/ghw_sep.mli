@@ -57,3 +57,36 @@ val apx_separable : k:int -> eps:Rat.t -> Labeling.training -> bool
     on the Algorithm-2 relabeling (Corollary 7.5). Returns the
     evaluation labeling and the training error incurred. *)
 val apx_classify : k:int -> Labeling.training -> Db.t -> Labeling.t * int
+
+(** Budgeted counterparts of the entry points above, in the style of
+    {!separable_b}: each runs under the given budget (default: the
+    ambient one) and converts resource exhaustion into a structured
+    [Error]. *)
+
+val chain_b :
+  ?budget:Budget.t -> k:int -> Labeling.training ->
+  (Preorder_chain.t, Guard.failure) result
+
+val inseparable_witness_b :
+  ?budget:Budget.t -> k:int -> Labeling.training ->
+  ((Elem.t * Elem.t) option, Guard.failure) result
+
+val classify_b :
+  ?budget:Budget.t -> k:int -> Labeling.training -> Db.t ->
+  (Labeling.t, Guard.failure) result
+
+val generate_b :
+  ?budget:Budget.t -> k:int -> depth:int -> Labeling.training ->
+  ((Statistic.t * Linsep.classifier) option, Guard.failure) result
+
+val apx_relabel_b :
+  ?budget:Budget.t -> k:int -> Labeling.training ->
+  (Labeling.t * int, Guard.failure) result
+
+val apx_separable_b :
+  ?budget:Budget.t -> k:int -> eps:Rat.t -> Labeling.training ->
+  (bool, Guard.failure) result
+
+val apx_classify_b :
+  ?budget:Budget.t -> k:int -> Labeling.training -> Db.t ->
+  (Labeling.t * int, Guard.failure) result

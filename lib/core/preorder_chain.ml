@@ -16,6 +16,7 @@ let build ~entities ~matrix =
       incr m;
       rep_of_class := !rep_of_class @ [ i ];
       for j = i to n - 1 do
+        Budget.tick ~what:"chain: class grouping" ();
         if class_id.(j) < 0 && matrix.(i).(j) && matrix.(j).(i) then
           class_id.(j) <- cid
       done
@@ -26,11 +27,13 @@ let build ~entities ~matrix =
   let below0 = Array.make_matrix m m false in
   for a = 0 to m - 1 do
     for b = 0 to m - 1 do
+      Budget.tick ~what:"chain: class order" ();
       below0.(a).(b) <- matrix.(rep_idx.(a)).(rep_idx.(b))
     done
   done;
   let members0 = Array.make m [] in
   for j = n - 1 downto 0 do
+    Budget.tick ~what:"chain: member collection" ();
     members0.(class_id.(j)) <- entities.(j) :: members0.(class_id.(j))
   done;
   (* Kahn topological sort of the class DAG (strict part of ≼). *)
@@ -42,6 +45,7 @@ let build ~entities ~matrix =
       if not placed.(a) then begin
         let ready = ref true in
         for b = 0 to m - 1 do
+          Budget.tick ~what:"chain: topological sort" ();
           if (not placed.(b)) && b <> a && below0.(b).(a) then ready := false
         done;
         if !ready then pick := a
@@ -57,6 +61,7 @@ let build ~entities ~matrix =
   let class_below = Array.make_matrix m m false in
   for x = 0 to m - 1 do
     for y = 0 to m - 1 do
+      Budget.tick ~what:"chain: class order" ();
       class_below.(x).(y) <- below0.(order.(x)).(order.(y))
     done
   done;
@@ -64,6 +69,7 @@ let build ~entities ~matrix =
 
 let class_of t e =
   let m = Array.length t.reps in
+  (* cqlint: allow R1 — scan bounded by the class count *)
   let rec go i =
     if i >= m then raise Not_found
     else if List.exists (Elem.equal e) t.members.(i) then i
@@ -76,6 +82,7 @@ let consistent_labels t labeling =
   let labels = Array.make m Labeling.Pos in
   let witness = ref None in
   for i = 0 to m - 1 do
+    Budget.tick ~what:"chain: label check" ();
     match t.members.(i) with
     | [] -> assert false
     | first :: rest ->
@@ -96,6 +103,7 @@ let majority_labels t labeling =
   let labels = Array.make m Labeling.Pos in
   let disagreement = ref 0 in
   for i = 0 to m - 1 do
+    Budget.tick ~what:"chain: majority labels" ();
     let balance =
       List.fold_left
         (fun acc e -> acc + Labeling.label_sign (Labeling.get e labeling))
@@ -128,6 +136,7 @@ let to_dot ?labels t =
   let m = Array.length t.reps in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "digraph classes {\n  rankdir=BT;\n";
+  (* cqlint: allow R1 — rendering pass bounded by the class count *)
   for i = 0 to m - 1 do
     let label_mark =
       match labels with
@@ -148,6 +157,7 @@ let to_dot ?labels t =
       if j <> i && t.class_below.(j).(i) then begin
         let covered = ref false in
         for l = 0 to m - 1 do
+          Budget.tick ~what:"chain: dot rendering" ();
           if
             l <> i && l <> j && t.class_below.(j).(l) && t.class_below.(l).(i)
           then covered := true

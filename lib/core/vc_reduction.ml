@@ -37,12 +37,15 @@ let min_vertex_cover ~edges =
   in
   let n = Array.length vertices in
   let index v =
+    (* cqlint: allow R1 — scan bounded by the vertex count *)
     let rec go i = if vertices.(i) = v then i else go (i + 1) in
     go 0
   in
   let best = ref n in
   for mask = 0 to (1 lsl n) - 1 do
+    Budget.tick ~what:"vc: cover enumeration" ();
     let size =
+      (* cqlint: allow R1 — recursion bounded by the bits of one mask *)
       let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
       pop mask 0
     in

@@ -35,6 +35,7 @@ let covered_sets ~k d =
         subsets rest (Elem.Set.add e current)
   in
   let rec unions start depth current =
+    Budget.tick ~what:"cover game: union enumeration" ();
     subsets (Elem.Set.elements current) Elem.Set.empty;
     if depth < k then
       for i = start to nf - 1 do
@@ -183,6 +184,7 @@ let make_context ~k d d' =
   let valid_ext = Array.make nsets [] in
   let dom_list = Elem.Set.elements (Db.domain d) in
   for si = 0 to nsets - 1 do
+    Budget.tick ~what:"cover game: valid extensions" ();
     let x = set_arr.(si) in
     valid_ext.(si) <-
       List.filter
@@ -278,6 +280,7 @@ let holds_ctx ctx ~pin:pin_list =
         Hashtbl.replace ext_count key (c + delta)
       in
       for pid = 0 to n - 1 do
+        Budget.tick ~what:"cover game: extension counts" ();
         List.iter
           (fun (c, child) -> if alive.(child) then bump (pid, c) 1)
           ctx.c_links.(pid)
@@ -291,6 +294,7 @@ let holds_ctx ctx ~pin:pin_list =
       in
       (* initial forth failures *)
       for id = 0 to n - 1 do
+        Budget.tick ~what:"cover game: forth check" ();
         if alive.(id) then
           List.iter
             (fun a ->
@@ -307,6 +311,7 @@ let holds_ctx ctx ~pin:pin_list =
          alive children — and their restriction-closure effect: a dead
          position's children must die. Enqueue dead ones' children. *)
       for id = 0 to n - 1 do
+        Budget.tick ~what:"cover game: kill propagation" ();
         if not alive.(id) then
           List.iter (fun (_, child) -> kill child) ctx.c_links.(id)
       done;
@@ -374,6 +379,7 @@ let preorder ?(transitive_pruning = true) ~k d entities =
   in
   let ctx = make_context ~k d d in
   if transitive_pruning then
+    (* cqlint: allow R1 — loop bounded by the entity count *)
     for i = 0 to n - 1 do
       set i i true
     done;
@@ -383,6 +389,7 @@ let preorder ?(transitive_pruning = true) ~k d entities =
         let v = holds_ctx ctx ~pin:[ (ents.(i), ents.(j)) ] in
         set i j v;
         if v && transitive_pruning then
+          (* cqlint: allow R1 — closure pass bounded by the entity count *)
           for l = 0 to n - 1 do
             if known.(j).(l) && m.(j).(l) then set i l true;
             if known.(l).(i) && m.(l).(i) then set l j true
@@ -409,9 +416,11 @@ let equiv_classes ~k d entities =
   let m = preorder ~k d entities in
   let assigned = Array.make n false in
   let classes = ref [] in
+  (* cqlint: allow R1 — grouping pass bounded by the entity count *)
   for i = 0 to n - 1 do
     if not assigned.(i) then begin
       let cls = ref [] in
+      (* cqlint: allow R1 — grouping pass bounded by the entity count *)
       for j = n - 1 downto 0 do
         if (not assigned.(j)) && m.(i).(j) && m.(j).(i) then begin
           assigned.(j) <- true;

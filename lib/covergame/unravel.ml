@@ -30,6 +30,7 @@ let unravel ~k ~depth (d, e) =
             (Elem.Set.elements scope)))
   in
   let rec node x var_map remaining =
+    Budget.tick ~what:"unravel: node expansion" ();
     emit_atoms x var_map;
     if remaining > 0 then
       List.iter
@@ -63,6 +64,7 @@ let node_count ~k ~depth d =
          (fun set -> not (Elem.Set.is_empty set))
          (Cover_game.covered_subsets ~k d))
   in
+  (* cqlint: allow R1 — arithmetic recursion bounded by the unraveling depth *)
   let rec go level acc width =
     if level > depth then acc else go (level + 1) (acc + width) (width * s)
   in

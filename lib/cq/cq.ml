@@ -65,6 +65,7 @@ let top = make ~free:default_free []
    equivalent (fold in one direction, inclusion in the other). *)
 let core q =
   let rec shrink canon =
+    Budget.tick ~what:"cq core: retraction" ();
     let candidates = Elem.Set.remove q.free (Db.domain canon) in
     let try_drop a =
       let without_a =
@@ -110,6 +111,7 @@ let canonical_order q =
   push q.free;
   let sorted_facts = List.sort Fact.compare (Db.facts q.canon) in
   let rec loop () =
+    Budget.tick ~what:"cq: canonical order" ();
     let before = Elem.Set.cardinal !seen in
     List.iter
       (fun f ->
@@ -154,9 +156,21 @@ let render_plain q =
 
 (* Color refinement on the variables of a query: colors are structural
    values (no per-query interning) so they are comparable across
-   queries and invariant under isomorphism. *)
+   queries and invariant under isomorphism. A color is the explicit
+   serialization of the full refinement signature — not its
+   [Hashtbl.hash], which reads only a bounded prefix of a deep value
+   and so conflated signatures that first differ past that prefix. *)
 let refine_var_colors q ~rounds =
   let atoms = List.sort Fact.compare (Db.facts q.canon) in
+  let add_str buf s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let add_int buf i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
   let initial v =
     let occ =
       List.concat_map
@@ -170,13 +184,22 @@ let refine_var_colors q ~rounds =
             (List.init (Array.length args) (fun i -> i)))
         atoms
     in
-    (Elem.equal v q.free, List.sort compare occ)
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf (if Elem.equal v q.free then 'F' else 'E');
+    List.iter
+      (fun (r, i, ar) ->
+        add_str buf r;
+        add_int buf i;
+        add_int buf ar)
+      (List.sort compare occ);
+    Buffer.contents buf
   in
-  let color = Hashtbl.create 16 in
+  let color : (Elem.t, string) Hashtbl.t = Hashtbl.create 16 in
   Elem.Set.iter
-    (fun v -> Hashtbl.replace color v (Hashtbl.hash (initial v)))
+    (fun v -> Hashtbl.replace color v (initial v))
     (Db.domain q.canon);
   for _round = 1 to rounds do
+    Budget.tick ~what:"cq: color refinement" ();
     let updates =
       Elem.Set.fold
         (fun v acc ->
@@ -196,8 +219,19 @@ let refine_var_colors q ~rounds =
                 else None)
               atoms
           in
-          (v, Hashtbl.hash (Hashtbl.find color v, List.sort compare sigs))
-          :: acc)
+          let buf = Buffer.create 128 in
+          Buffer.add_char buf 'S';
+          add_str buf (Hashtbl.find color v);
+          List.iter
+            (fun (r, arg_colors, positions) ->
+              add_str buf r;
+              Buffer.add_char buf '[';
+              List.iter (add_str buf) arg_colors;
+              Buffer.add_char buf '|';
+              List.iter (add_int buf) positions;
+              Buffer.add_char buf ']')
+            (List.sort compare sigs);
+          (v, Buffer.contents buf) :: acc)
         (Db.domain q.canon) []
     in
     List.iter (fun (v, c) -> Hashtbl.replace color v c) updates
@@ -248,6 +282,7 @@ let iso_canonical_string q =
                 Elem.sym (Printf.sprintf "y%d" (offset + i)))
           in
           let rec perms chosen remaining_names remaining_members k =
+            Budget.tick ~what:"cq: canonical renaming search" ();
             match remaining_members with
             | [] -> k chosen
             | v :: more ->

@@ -30,11 +30,13 @@ let is_free_acyclic q =
   let edges = ref (List.filter (fun m -> m <> 0) (edge_masks q tbl)) in
   let changed = ref true in
   while !changed do
+    Budget.tick ~what:"cq decomp: GYO reduction" ();
     changed := false;
     (* Remove vertices occurring in exactly one edge. *)
     let occurrences = Hashtbl.create 16 in
     List.iter
       (fun m ->
+        (* cqlint: allow R1 — recursion bounded by the 62 bits of a mask *)
         let rec bits m i =
           if m <> 0 then begin
             if m land 1 = 1 then begin
@@ -66,6 +68,7 @@ let is_free_acyclic q =
       end
     end;
     (* Remove edges contained in another edge (including duplicates). *)
+    (* cqlint: allow R1 — one pass over the edge list, bounded by the atom count *)
     let rec drop_contained acc = function
       | [] -> List.rev acc
       | m :: rest ->
@@ -93,6 +96,7 @@ let ghw_le q k =
   (* coverable s: can s be covered by at most k edges? *)
   let cover_memo = Hashtbl.create 256 in
   let rec coverable s budget =
+    Budget.tick ~what:"cq decomp: cover search" ();
     if s = 0 then true
     else if budget = 0 then false
     else begin
@@ -113,12 +117,14 @@ let ghw_le q k =
   let adj = Array.make n 0 in
   Array.iter
     (fun e ->
+      (* cqlint: allow R1 — loop bounded by the variable count, at most 62 *)
       for i = 0 to n - 1 do
         if e land (1 lsl i) <> 0 then adj.(i) <- adj.(i) lor (e land lnot (1 lsl i))
       done)
     edges;
   let neighbors mask =
     let acc = ref 0 in
+    (* cqlint: allow R1 — loop bounded by the variable count, at most 62 *)
     for i = 0 to n - 1 do
       if mask land (1 lsl i) <> 0 then acc := !acc lor adj.(i)
     done;
@@ -127,6 +133,7 @@ let ghw_le q k =
   let components mask =
     let comp_of seed =
       let frontier = ref seed and region = ref seed in
+      (* cqlint: allow R1 — each pass grows the region, at most 62 passes *)
       while !frontier <> 0 do
         let next = neighbors !region land mask in
         frontier := next land lnot !region;
@@ -134,6 +141,7 @@ let ghw_le q k =
       done;
       !region
     in
+    (* cqlint: allow R1 — one component per call, at most 62 components *)
     let rec go mask acc =
       if mask = 0 then acc
       else begin
@@ -148,6 +156,7 @@ let ghw_le q k =
   (* solve c b: can the component c with boundary b (= N(c)) be
      decomposed with k-coverable bags? *)
   let rec solve c b =
+    Budget.tick ~what:"cq decomp: separator search" ();
     if c = 0 then true
     else begin
       match Hashtbl.find_opt memo (c, b) with
@@ -199,6 +208,7 @@ let decomposition q ~k =
   Hashtbl.iter (fun v i -> var_of_bit.(i) <- v) tbl;
   let set_of_mask mask =
     let s = ref Elem.Set.empty in
+    (* cqlint: allow R1 — loop bounded by the variable count, at most 62 *)
     for i = 0 to n - 1 do
       if mask land (1 lsl i) <> 0 then s := Elem.Set.add var_of_bit.(i) !s
     done;
@@ -207,6 +217,7 @@ let decomposition q ~k =
   let all = (1 lsl n) - 1 in
   (* Greedy-with-backtracking cover returning the witnessing atoms. *)
   let rec cover_of s budget =
+    Budget.tick ~what:"cq decomp: cover extraction" ();
     if s = 0 then Some []
     else if budget = 0 then None
     else begin
@@ -225,6 +236,7 @@ let decomposition q ~k =
   let adj = Array.make n 0 in
   Array.iter
     (fun e ->
+      (* cqlint: allow R1 — loop bounded by the variable count, at most 62 *)
       for i = 0 to n - 1 do
         if e land (1 lsl i) <> 0 then
           adj.(i) <- adj.(i) lor (e land lnot (1 lsl i))
@@ -232,6 +244,7 @@ let decomposition q ~k =
     edges;
   let neighbors mask =
     let acc = ref 0 in
+    (* cqlint: allow R1 — loop bounded by the variable count, at most 62 *)
     for i = 0 to n - 1 do
       if mask land (1 lsl i) <> 0 then acc := !acc lor adj.(i)
     done;
@@ -240,6 +253,7 @@ let decomposition q ~k =
   let components mask =
     let comp_of seed =
       let frontier = ref seed and region = ref seed in
+      (* cqlint: allow R1 — each pass grows the region, at most 62 passes *)
       while !frontier <> 0 do
         let next = neighbors !region land mask in
         frontier := next land lnot !region;
@@ -247,6 +261,7 @@ let decomposition q ~k =
       done;
       !region
     in
+    (* cqlint: allow R1 — one component per call, at most 62 components *)
     let rec go mask acc =
       if mask = 0 then acc
       else begin
@@ -259,6 +274,7 @@ let decomposition q ~k =
   in
   let memo : (int * int, decomp option) Hashtbl.t = Hashtbl.create 256 in
   let rec solve c b =
+    Budget.tick ~what:"cq decomp: separator search" ();
     match Hashtbl.find_opt memo (c, b) with
     | Some r -> r
     | None ->
@@ -296,6 +312,7 @@ let decomposition q ~k =
 
 let check_decomposition q ~k forest =
   let ex = Cq.existential_vars q in
+  (* cqlint: allow R1 — structural recursion over a finite decomposition tree *)
   let rec nodes d = d :: List.concat_map nodes d.children in
   let all_nodes = List.concat_map nodes forest in
   (* (1) every atom's existential vars inside some bag *)
@@ -310,6 +327,7 @@ let check_decomposition q ~k forest =
   (* (2) connectivity: within each tree, the nodes holding a variable
      form a connected subtree; across trees a variable appears in at
      most one tree. *)
+  (* cqlint: allow R1 — structural recursion over a finite decomposition tree *)
   let rec connected_for v d =
     (* returns (contains_somewhere, is_connected_as_single_segment) *)
     let child_results = List.map (connected_for v) d.children in

@@ -18,6 +18,7 @@ let plan ?(max_width = 2) q =
       if nvars > 16 then Hom_search
       else begin
         let rec try_width k =
+          Budget.tick ~what:"plan: decomposition width search" ();
           if k > max_width then Hom_search
           else begin
             match Cq_decomp.decomposition q ~k with

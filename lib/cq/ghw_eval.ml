@@ -10,6 +10,7 @@
 type rel = { cols : Elem.t list; rows : Elem.t array list }
 
 let col_index cols v =
+  (* cqlint: allow R1 — recursion bounded by the column count of one relation *)
   let rec go i = function
     | [] -> None
     | w :: rest -> if Elem.equal w v then Some i else go (i + 1) rest
@@ -34,6 +35,7 @@ let atom_relation db atom =
   let positions =
     List.map
       (fun v ->
+        (* cqlint: allow R1 — recursion bounded by the arity of one atom *)
         let rec find i = if Elem.equal args.(i) v then i else find (i + 1) in
         find 0)
       dvars
@@ -142,6 +144,7 @@ let eval_with_decomp q db forest =
   let entity_rel = { cols = [ free ]; rows = List.map (fun e -> [| e |]) entities } in
   (* Atoms whose existential variables are nonempty get assigned to a
      node whose bag contains them; the rest constrain x alone. *)
+  (* cqlint: allow R1 — structural recursion over a finite decomposition tree *)
   let rec nodes d = d :: List.concat_map nodes d.Cq_decomp.children in
   let all_nodes = List.concat_map nodes forest in
   let assigned = Hashtbl.create 16 in

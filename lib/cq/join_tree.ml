@@ -35,17 +35,20 @@ let build q =
   let remaining = ref n in
   let progress = ref true in
   while !remaining > 1 && !progress do
+    Budget.tick ~what:"join tree: ear removal" ();
     progress := false;
     (* Find an ear: an alive atom whose shared variables (those
        occurring in another alive atom) are contained in a single
        other alive atom, its witness/parent. *)
     let i = ref 0 in
     while !i < n && not !progress do
+      Budget.tick ~what:"join tree: ear search" ();
       if alive.(!i) then begin
         let shared =
           Elem.Set.filter
             (fun v ->
               let occurs_elsewhere = ref false in
+              (* cqlint: allow R1 — scan bounded by the atom count *)
               for j = 0 to n - 1 do
                 if j <> !i && alive.(j) && Elem.Set.mem v var_sets.(j) then
                   occurs_elsewhere := true
@@ -54,6 +57,7 @@ let build q =
             var_sets.(!i)
         in
         let witness = ref None in
+        (* cqlint: allow R1 — scan bounded by the atom count *)
         for j = 0 to n - 1 do
           if
             !witness = None && j <> !i && alive.(j)
@@ -83,6 +87,7 @@ let build q =
   if !remaining > 1 then None
   else begin
     (* The last alive atom (if any) is a root. *)
+    (* cqlint: allow R1 — scan bounded by the atom count *)
     for i = 0 to n - 1 do
       if alive.(i) then order := i :: !order
     done;
@@ -107,6 +112,7 @@ let atom_relation db atom dvars =
     (* for each distinct var, its first position in args *)
     List.map
       (fun v ->
+        (* cqlint: allow R1 — recursion bounded by the arity of one atom *)
         let rec find i =
           if Elem.equal args.(i) v then i else find (i + 1)
         in
@@ -141,6 +147,7 @@ let shared_positions dvars_a dvars_b =
   List.filteri (fun _ v -> List.exists (Elem.equal v) dvars_b) dvars_a
   |> List.map (fun v ->
          let idx vars =
+           (* cqlint: allow R1 — recursion bounded by the column count *)
            let rec go i = function
              | [] -> assert false
              | w :: rest -> if Elem.equal v w then i else go (i + 1) rest
@@ -205,6 +212,7 @@ let eval q db =
           (List.rev t.removal_order);
         (* Read the answers off the eta(x) atom. *)
         let eta_idx =
+          (* cqlint: allow R1 — scan bounded by the atom count; eta(x) exists *)
           let rec find i =
             if Fact.rel t.atoms.(i) = Db.entity_rel
                && Elem.equal (Fact.args t.atoms.(i)).(0) t.free
@@ -214,6 +222,7 @@ let eval q db =
           find 0
         in
         let xpos =
+          (* cqlint: allow R1 — recursion bounded by the column count *)
           let rec go i = function
             | [] -> assert false
             | v :: rest -> if Elem.equal v t.free then i else go (i + 1) rest

@@ -15,6 +15,7 @@ let closure_family ~queries ~db =
 let collapse_counterexample ~queries ~db =
   let family = closure_family ~queries ~db in
   let mem s = List.exists (Elem.Set.equal s) family in
+  (* cqlint: allow R1 — pairwise scan bounded by the family size *)
   let rec scan = function
     | [] -> None
     | a :: rest -> begin
@@ -29,6 +30,7 @@ let collapse_counterexample ~queries ~db =
 
 let family_is_linear ~queries ~db =
   let family = indicator_family ~queries ~db in
+  (* cqlint: allow R1 — pairwise scan bounded by the family size *)
   let rec linear = function
     | [] -> true
     | a :: rest ->

@@ -17,6 +17,7 @@ let of_cq q =
     (Cq.existential_vars q)
     body
 
+(* cqlint: allow R1 — structural recursion bounded by the formula size *)
 let rec free_vars = function
   | Atom f -> Fact.elems f
   | Eq (a, b) -> Elem.Set.add a (Elem.Set.singleton b)
@@ -27,6 +28,7 @@ let rec free_vars = function
         Elem.Set.empty fs
   | Exists (v, f) | Forall (v, f) -> Elem.Set.remove v (free_vars f)
 
+(* cqlint: allow R1 — structural recursion bounded by the formula size *)
 let rec variables = function
   | Atom f -> Fact.elems f
   | Eq (a, b) -> Elem.Set.add a (Elem.Set.singleton b)
@@ -38,6 +40,7 @@ let rec variables = function
   | Exists (v, f) | Forall (v, f) -> Elem.Set.add v (variables f)
 
 let rec eval db ~env f =
+  Budget.tick ~what:"fo: formula evaluation" ();
   match f with
   | Atom fact ->
       let resolve a =
@@ -66,12 +69,14 @@ let selects db ~free f e = eval db ~env:(Elem.Map.singleton free e) f
 let eval_unary db ~free f =
   List.filter (fun e -> selects db ~free f e) (Db.entities db)
 
+(* cqlint: allow R1 — structural recursion bounded by the formula size *)
 let rec size = function
   | Atom _ | Eq _ -> 1
   | Not f -> 1 + size f
   | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
   | Exists (_, f) | Forall (_, f) -> 1 + size f
 
+(* cqlint: allow R1 — structural recursion bounded by the formula size *)
 let rec pp fmt = function
   | Atom f -> Fact.pp fmt f
   | Eq (a, b) -> Format.fprintf fmt "%a = %a" Elem.pp a Elem.pp b

@@ -24,6 +24,7 @@ let diagram_formula (db, e) =
   let v = var_of e in
   let others = List.filter (fun a -> not (Elem.equal a e)) dom in
   (* 1. pairwise distinctness *)
+  (* cqlint: allow R1 — pairwise scan bounded by the domain size *)
   let rec distinct = function
     | [] -> []
     | a :: rest ->
@@ -98,3 +99,13 @@ let classify_with_formula (t : Labeling.training) eval_db =
           in
           Labeling.set f label acc)
         Labeling.empty (Db.entities eval_db)
+
+(* --- budgeted variants ---------------------------------------------- *)
+
+let default_budget = function Some b -> b | None -> Budget.installed ()
+
+let generate_b ?budget t =
+  Guard.run (default_budget budget) (fun () -> generate t)
+
+let classify_with_formula_b ?budget t eval_db =
+  Guard.run (default_budget budget) (fun () -> classify_with_formula t eval_db)

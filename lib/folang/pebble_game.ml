@@ -13,6 +13,7 @@ let partial_iso ~pin_a ~pin_b a b pairs =
   (* The full correspondence: pebbled pairs plus pins. *)
   let full = pairs @ List.combine pin_a pin_b in
   (* functional + injective *)
+  (* cqlint: allow R1 — pairwise scan bounded by k pebbles plus the pins *)
   let rec functional = function
     | [] -> true
     | (x, y) :: rest ->
@@ -191,3 +192,16 @@ let fok_classify ~k (t : Labeling.training) eval_db =
       in
       Labeling.set f label acc)
     Labeling.empty (Db.entities eval_db)
+
+(* --- budgeted variants ---------------------------------------------- *)
+
+let default_budget = function Some b -> b | None -> Budget.installed ()
+
+let fok_separable_b ?budget ~k t =
+  Guard.run (default_budget budget) (fun () -> fok_separable ~k t)
+
+let fok_inseparable_witness_b ?budget ~k t =
+  Guard.run (default_budget budget) (fun () -> fok_inseparable_witness ~k t)
+
+let fok_classify_b ?budget ~k t eval_db =
+  Guard.run (default_budget budget) (fun () -> fok_classify ~k t eval_db)

@@ -21,7 +21,13 @@ let refine_colors db =
     List.sort compare occ
   in
   let color = Hashtbl.create 64 in
-  let intern = Hashtbl.create 64 in
+  (* Color ids are interned from an explicit, collision-free
+     serialization of the full signature. (This used to intern
+     [Hashtbl.hash signature], but the polymorphic hash reads only a
+     bounded prefix of a deep value — ~10 scalar leaves — so two
+     elements whose signatures first differ past that prefix silently
+     shared a color, collapsing distinct refinement classes.) *)
+  let intern : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let next = ref 0 in
   let intern_key key =
     match Hashtbl.find_opt intern key with
@@ -32,8 +38,29 @@ let refine_colors db =
         Hashtbl.replace intern key id;
         id
   in
+  (* Length-prefix strings so relation names can never collide with
+     the surrounding separators. *)
+  let add_str buf s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let add_int buf i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
+  let ser_initial occ =
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf 'I';
+    List.iter
+      (fun (r, i) ->
+        add_str buf r;
+        add_int buf i)
+      occ;
+    Buffer.contents buf
+  in
   List.iter
-    (fun e -> Hashtbl.replace color e (intern_key (Hashtbl.hash (initial e))))
+    (fun e -> Hashtbl.replace color e (intern_key (ser_initial (initial e))))
     elems;
   let classes () =
     let tbl = Hashtbl.create 16 in
@@ -45,6 +72,7 @@ let refine_colors db =
     Hashtbl.length tbl
   in
   let rec stabilize n_classes =
+    Budget.tick ~what:"struct iso: color refinement" ();
     (* New color: current color + sorted multiset of fact signatures,
        where a fact signature is the relation, the positions of e, and
        the colors of all arguments. *)
@@ -64,8 +92,25 @@ let refine_colors db =
       in
       (Hashtbl.find color e, List.sort compare sigs)
     in
+    let ser_signature (c, sigs) =
+      let buf = Buffer.create 128 in
+      Buffer.add_char buf 'S';
+      add_int buf c;
+      List.iter
+        (fun (r, arg_colors, positions) ->
+          add_str buf r;
+          Buffer.add_char buf '[';
+          List.iter (add_int buf) arg_colors;
+          Buffer.add_char buf '|';
+          List.iter (add_int buf) positions;
+          Buffer.add_char buf ']')
+        sigs;
+      Buffer.contents buf
+    in
     let updates =
-      List.map (fun e -> (e, intern_key (Hashtbl.hash (signature e)))) elems
+      List.map
+        (fun e -> (e, intern_key (ser_signature (signature e))))
+        elems
     in
     List.iter (fun (e, c) -> Hashtbl.replace color e c) updates;
     let n' = classes () in
@@ -114,6 +159,7 @@ let find_isomorphism ?(fix = []) a b =
          equal fact counts this yields an isomorphism. *)
       let exception Found of Elem.t Elem.Map.t in
       let rec go todo asg used =
+        Budget.tick ~what:"struct iso: backtracking" ();
         match todo with
         | [] -> raise (Found asg)
         | e :: rest ->

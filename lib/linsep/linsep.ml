@@ -100,12 +100,14 @@ let perceptron ?(max_epochs = 1000) examples =
       in
       let predict vec =
         let s = ref !bias in
+        (* cqlint: allow R1 — dot product bounded by the feature dimension *)
         for i = 0 to n - 1 do
           s := !s + (w.(i) * vec.(i))
         done;
         if !s >= 0 then Labeling.Pos else Labeling.Neg
       in
       let rec epochs e =
+        Budget.tick ~what:"linsep: perceptron epoch" ();
         if e >= max_epochs then (as_classifier (), false)
         else begin
           let mistakes = ref 0 in
@@ -114,6 +116,7 @@ let perceptron ?(max_epochs = 1000) examples =
               if not (Labeling.label_equal (predict ex.vec) ex.label) then begin
                 incr mistakes;
                 let dir = Labeling.label_sign ex.label in
+                (* cqlint: allow R1 — update bounded by the feature dimension *)
                 for i = 0 to n - 1 do
                   w.(i) <- w.(i) + (dir * ex.vec.(i))
                 done;
@@ -137,6 +140,7 @@ let chain_classifier ~labels ~below =
      j ≤ i), which the geometric weighting relies on. *)
   for i = 0 to m - 1 do
     for j = i + 1 to m - 1 do
+      Budget.tick ~what:"linsep: chain order validation" ();
       if below j i then
         invalid_arg "Linsep.chain_classifier: order is not topological"
     done
@@ -168,10 +172,12 @@ let min_errors_exact ?cap examples =
   let ngroups = Array.length groups in
   let lower = consistency_lower_bound examples in
   let rec try_budget budget =
+    Budget.tick ~what:"linsep: error budget search" ();
     if budget > cap then None
     else begin
       (* DFS assigning each group a forced side; prune on budget. *)
       let rec assign i err chosen =
+        Budget.tick ~what:"linsep: group assignment search" ();
         if err > budget then None
         else if i >= ngroups then begin
           match separable chosen with
@@ -217,6 +223,7 @@ let min_errors_greedy ?(max_epochs = 200) examples =
       let best_c = ref (classifier_of w !bias) in
       let predict vec =
         let s = ref !bias in
+        (* cqlint: allow R1 — dot product bounded by the feature dimension *)
         for i = 0 to n - 1 do
           s := !s + (w.(i) * vec.(i))
         done;
@@ -224,6 +231,7 @@ let min_errors_greedy ?(max_epochs = 200) examples =
       in
       (try
          for _e = 1 to max_epochs do
+           Budget.tick ~what:"linsep: perceptron epoch" ();
            let mistakes = ref 0 in
            List.iter
              (fun ex ->
@@ -231,6 +239,7 @@ let min_errors_greedy ?(max_epochs = 200) examples =
                then begin
                  incr mistakes;
                  let dir = Labeling.label_sign ex.label in
+                 (* cqlint: allow R1 — update bounded by the feature dimension *)
                  for i = 0 to n - 1 do
                    w.(i) <- w.(i) + (dir * ex.vec.(i))
                  done;

@@ -37,12 +37,14 @@ let pivot tb ~row ~col =
   assert (not (Rat.is_zero p));
   let inv = Rat.inv p in
   for j = 0 to n do
+    Budget.tick ~what:"simplex: row normalization" ();
     t.(row).(j) <- Rat.mul t.(row).(j) inv
   done;
   for i = 0 to m do
     if i <> row && not (Rat.is_zero t.(i).(col)) then begin
       let f = t.(i).(col) in
       for j = 0 to n do
+        Budget.tick ~what:"simplex: row elimination" ();
         t.(i).(j) <- Rat.sub t.(i).(j) (Rat.mul f t.(row).(j))
       done
     end
@@ -58,6 +60,7 @@ let entering_dantzig obj ~allowed n =
   let best = ref (-1) in
   let best_cost = ref Rat.zero in
   for j = 0 to n - 1 do
+    Budget.tick ~what:"simplex: pricing" ();
     if allowed j && Rat.sign obj.(j) < 0
        && (!best < 0 || Rat.compare obj.(j) !best_cost < 0)
     then begin
@@ -71,6 +74,7 @@ let entering_bland obj ~allowed n =
   let entering = ref (-1) in
   (try
      for j = 0 to n - 1 do
+       Budget.tick ~what:"simplex: pricing" ();
        if allowed j && Rat.sign obj.(j) < 0 then begin
          entering := j;
          raise Exit
@@ -96,6 +100,7 @@ let rec iterate ?(pivots = ref 0) tb ~allowed =
   else begin
     let best = ref None in
     for i = 0 to m - 1 do
+      Budget.tick ~what:"simplex: ratio test" ();
       let a = t.(i).(col) in
       if Rat.sign a > 0 then begin
         let ratio = Rat.div t.(i).(n) a in
@@ -128,12 +133,14 @@ let rec iterate ?(pivots = ref 0) tb ~allowed =
 let set_objective tb c =
   let { t; m; n; basis } = tb in
   for j = 0 to n do
+    Budget.tick ~what:"simplex: objective install" ();
     t.(m).(j) <- (if j < n then c.(j) else Rat.zero)
   done;
   for i = 0 to m - 1 do
     let cb = c.(basis.(i)) in
     if not (Rat.is_zero cb) then
       for j = 0 to n do
+        Budget.tick ~what:"simplex: objective install" ();
         t.(m).(j) <- Rat.sub t.(m).(j) (Rat.mul cb t.(i).(j))
       done
   done
@@ -162,6 +169,7 @@ let solve ~nvars ~rows ~objective () =
     let sign_flip = Rat.sign rhs < 0 in
     let put j v = t.(i).(j) <- (if sign_flip then Rat.neg v else v) in
     for v = 0 to nvars - 1 do
+      Budget.tick ~what:"simplex: tableau setup" ();
       put (2 * v) coeffs.(v);
       put ((2 * v) + 1) (Rat.neg coeffs.(v))
     done;
@@ -192,6 +200,7 @@ let solve ~nvars ~rows ~objective () =
       if basis.(i) >= n_split + n_slack then begin
         let found = ref false in
         for j = 0 to n_split + n_slack - 1 do
+          Budget.tick ~what:"simplex: artificial drive-out" ();
           if (not !found) && not (Rat.is_zero t.(i).(j)) then begin
             pivot tb ~row:i ~col:j;
             found := true
@@ -215,6 +224,7 @@ let solve ~nvars ~rows ~objective () =
     let extract () =
       let x = Array.make nvars Rat.zero in
       for i = 0 to m - 1 do
+        Budget.tick ~what:"simplex: solution extraction" ();
         let b = basis.(i) in
         if b < n_split then begin
           let v = b / 2 in

@@ -16,6 +16,7 @@ let compare a b =
     let la = Array.length a.args and lb = Array.length b.args in
     if la <> lb then Stdlib.compare la lb
     else begin
+      (* cqlint: allow R1 — recursion bounded by the arity of one fact *)
       let rec go i =
         if i >= la then 0
         else begin

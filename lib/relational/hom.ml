@@ -45,6 +45,7 @@ let candidates src dst asg x =
       let matches t =
         let targs = Fact.args t in
         let ok = ref (Array.length targs = n) in
+        (* cqlint: allow R1 — loop bounded by the arity of one fact *)
         for i = 0 to n - 1 do
           if !ok then begin
             match Elem.Map.find_opt args.(i) asg with
@@ -61,6 +62,7 @@ let candidates src dst asg x =
              agree on the candidate value. *)
           let value = ref None in
           let consistent = ref true in
+          (* cqlint: allow R1 — loop bounded by the arity of one fact *)
           for i = 0 to n - 1 do
             if Elem.equal args.(i) x then begin
               match !value with
@@ -95,6 +97,7 @@ let search_order src fixed =
   List.iter push fixed;
   let drain () =
     while not (Queue.is_empty queue) do
+      Budget.tick ~what:"hom: BFS search order" ();
       let e = Queue.pop queue in
       order := e :: !order;
       List.iter

@@ -87,8 +87,11 @@ let installed () = !current
    must raise — so a budget with fuel [f] admits exactly [f - 1] ticks
    and raises on the [f]-th, as if fuel were decremented per tick. *)
 let replenish b what =
+  (* [>=], not [>]: a deadline of "now" (e.g. [~timeout:0.0]) must trip
+     on the very first replenish even when the clock has not advanced
+     since [make] read it. *)
   (match b.deadline with
-  | Some d when Unix.gettimeofday () > d -> raise (Exhausted Timeout)
+  | Some d when Unix.gettimeofday () >= d -> raise (Exhausted Timeout)
   | _ -> ());
   if b.fuel = max_int then b.credit <- clock_period - 1
   else if b.fuel <= 1 then begin

@@ -30,6 +30,7 @@ let run budget f =
       | Stack_overflow -> Error (Limit_exceeded "stack overflow")
       | Invalid_argument msg | Failure msg -> Error (Solver_error msg)
       | Not_found -> Error (Solver_error "internal lookup failed (Not_found)")
+      | Division_by_zero -> Error (Solver_error "division by zero")
       | e -> raise e
     end
 
@@ -38,3 +39,8 @@ let run_result budget f =
   | Ok (Ok _ as ok) -> ok
   | Ok (Error _ as err) -> err
   | Error failure -> Error failure
+
+let solver_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Budget.Exhausted (Solver_error msg)))
+    fmt

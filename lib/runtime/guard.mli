@@ -29,9 +29,18 @@ val run : Budget.t -> (unit -> 'a) -> ('a, failure) result
     - with the failure carried by {!Budget.Exhausted} when a
       cooperative {!Budget.tick} aborted the run;
     - [Limit_exceeded "stack overflow"] on [Stack_overflow];
-    - [Solver_error msg] on [Invalid_argument]/[Failure]/[Not_found].
+    - [Solver_error msg] on
+      [Invalid_argument]/[Failure]/[Not_found]/[Division_by_zero].
     Other exceptions propagate unchanged. *)
 
 val run_result : Budget.t -> (unit -> ('a, failure) result) -> ('a, failure) result
 (** [run_result budget f] is {!run} for an [f] that already returns a
     result, flattening the two error layers. *)
+
+val solver_error : ('a, unit, string, 'b) format4 -> 'a
+(** [solver_error fmt ...] raises {!Budget.Exhausted} carrying
+    [Solver_error msg]: the structured way for library code to reject
+    an input or report an internal failure. Under {!run} the caller
+    gets [Error (Solver_error msg)]; outside any guarded run the
+    exception propagates (and names the failing solver in [msg], which
+    should be token-precise: ["Module.fn: what, got what"]). *)

@@ -1,0 +1,12 @@
+(* The same shapes as bad_r1.ml, silenced by reasoned directives. *)
+
+let search xs =
+  let best = ref 0 in
+  (* cqlint: allow R1 — fixture: bounded by the list length *)
+  while !best < List.length xs do
+    incr best
+  done;
+  !best
+
+(* cqlint: allow R1 — fixture: structural recursion on a decreasing nat *)
+let rec explore n = if n = 0 then [] else n :: explore (n - 1)

@@ -1,0 +1,14 @@
+(* The same shapes as bad_r2.ml, silenced by reasoned directives. *)
+
+exception Local_stop
+
+let solve xs =
+  (* cqlint: allow R2 — fixture: caller documented to catch Sys_error *)
+  if xs = [] then raise (Sys_error "fixture");
+  try List.iter (fun x -> if x > 3 then raise Local_stop) xs with
+  | Local_stop -> ()
+
+(* cqlint: allow R2 — fixture: infallible body, nothing to guard *)
+let solve_b ?budget:_ xs =
+  solve xs;
+  Ok ()

@@ -1,0 +1,9 @@
+(* R3 fixture: polymorphic hash, polymorphic compare on a domain value,
+   and a default Hashtbl keyed by a domain value. *)
+
+let fingerprint x = Hashtbl.hash x
+
+let reaches_one a b = Rat.add a b = Rat.one
+
+let cache = Hashtbl.create 7
+let remember x = Hashtbl.replace cache (Rat.of_int x) x

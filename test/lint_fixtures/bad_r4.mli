@@ -1,0 +1,8 @@
+(* R4 fixture: a solver entry point over training data with no budgeted
+   counterpart in sight. *)
+
+val solve : Labeling.training -> bool
+
+val solve_ok : Labeling.training -> bool
+val solve_ok_b :
+  ?budget:Budget.t -> Labeling.training -> (bool, Guard.failure) result

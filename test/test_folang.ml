@@ -51,6 +51,31 @@ let test_find_isomorphism_witness () =
       let image = Elem.Map.fold (fun _ v acc -> Elem.Set.add v acc) h Elem.Set.empty in
       check int_c "bijective" 4 (Elem.Set.cardinal image)
 
+let test_refine_colors_deep_signature () =
+  (* Two elements whose incidence signatures share their first five
+     (relation, position) pairs — about ten scalar leaves, exactly the
+     prefix the polymorphic [Hashtbl.hash] inspects — and differ only
+     past it. Interning [Hashtbl.hash signature] used to merge them
+     into one refinement class; the explicit serialization must keep
+     them apart. *)
+  let x = sym "x" and y = sym "y" in
+  let shared e = List.init 5 (fun i -> (Printf.sprintf "R%d" (i + 1), [ e ])) in
+  let db =
+    Db.of_list (shared x @ [ ("R8", [ x ]) ] @ shared y @ [ ("R9", [ y ]) ])
+  in
+  let colors = Struct_iso.refine_colors db in
+  check bool_c "deep-signature elements get distinct colors" true
+    (Elem.Map.find x colors <> Elem.Map.find y colors);
+  (* And the distinction carries to the isomorphism test: swapping the
+     deep tail makes the databases non-isomorphic. *)
+  let da = Db.of_list (shared x @ [ ("R8", [ x ]) ])
+  and db' = Db.of_list (shared y @ [ ("R8", [ y ]) ])
+  and dc = Db.of_list (shared y @ [ ("R9", [ y ]) ]) in
+  check bool_c "same deep signature: isomorphic" true
+    (Struct_iso.isomorphic da db');
+  check bool_c "deep tails differ: not isomorphic" false
+    (Struct_iso.isomorphic da dc)
+
 let prop_iso_reflexive =
   QCheck.Test.make ~name:"D ≅ D" ~count:50 (spec_arb ~max_nodes:4 ~max_edges:5)
     (fun s ->
@@ -381,6 +406,8 @@ let () =
           Alcotest.test_case "pointed" `Quick test_iso_pointed;
           Alcotest.test_case "degree trap" `Quick test_iso_multiset_trap;
           Alcotest.test_case "witness" `Quick test_find_isomorphism_witness;
+          Alcotest.test_case "deep-signature refinement" `Quick
+            test_refine_colors_deep_signature;
           qcheck prop_iso_reflexive;
           qcheck prop_iso_respects_renaming;
           qcheck prop_iso_implies_hom_equiv;

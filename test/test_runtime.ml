@@ -178,6 +178,58 @@ let prop_preorder_b_structured =
       | Ok m -> m = Cover_game.preorder ~k:1 db ents
       | Error f -> Guard.is_resource_failure f)
 
+(* --- tight fuel interrupts the hot loops ----------------------------- *)
+
+(* Sweep fuel 1..cap: fuel [f] admits [f - 1] ticks and raises at the
+   f-th, so the collected [~what] labels enumerate the tick sites the
+   computation passes through, in order. Membership of a loop's label
+   proves that loop is interruptible at tick granularity. The sweep
+   stops at the first fuel value that lets the run complete. *)
+let exhaustion_labels ?(cap = 2048) run =
+  let rec go fuel acc =
+    if fuel > cap then acc
+    else
+      match Guard.run (Budget.make ~fuel ()) run with
+      | Ok _ -> acc
+      | Error (Guard.Fuel_exhausted what) -> go (fuel + 1) (what :: acc)
+      | Error _ -> go (fuel + 1) acc
+  in
+  List.sort_uniq compare (go 1 [])
+
+let test_tight_fuel_hom_bfs () =
+  let db =
+    db_of_spec
+      { nodes = 5; edges = [ (0, 1); (1, 2); (2, 3); (3, 4) ]; unary = [] }
+  in
+  let labels =
+    exhaustion_labels (fun () -> ignore (Hom.exists ~src:db ~dst:db ()))
+  in
+  check bool_c "the BFS while-loop in Hom.search_order is interruptible" true
+    (List.mem "hom: BFS search order" labels)
+
+(* A query whose existential variables form a triangle: not α-acyclic,
+   few variables, so [Eval_engine.plan] must run the width search and
+   the decomposition machinery behind it. *)
+let cyclic_query () =
+  let x = sym "x" and y = sym "y" and z = sym "z" and w = sym "w" in
+  Cq.make ~free:x
+    [
+      Fact.make_l "E" [ x; y ];
+      Fact.make_l "E" [ y; z ];
+      Fact.make_l "E" [ z; w ];
+      Fact.make_l "E" [ w; y ];
+    ]
+
+let test_tight_fuel_plan_and_decomp () =
+  let labels =
+    exhaustion_labels (fun () -> ignore (Eval_engine.plan (cyclic_query ())))
+  in
+  check bool_c "the try_width recursion in Eval_engine.plan is interruptible"
+    true
+    (List.mem "plan: decomposition width search" labels);
+  check bool_c "the recursive search in Cq_decomp is interruptible" true
+    (List.exists (String.starts_with ~prefix:"cq decomp:") labels)
+
 (* --- the graceful-degradation ladder -------------------------------- *)
 
 let sample_training () =
@@ -268,6 +320,10 @@ let () =
           qcheck prop_separable_b_agrees;
           qcheck prop_simplex_b_structured;
           qcheck prop_preorder_b_structured;
+          Alcotest.test_case "tight fuel: hom BFS" `Quick
+            test_tight_fuel_hom_bfs;
+          Alcotest.test_case "tight fuel: planning and decomposition" `Quick
+            test_tight_fuel_plan_and_decomp;
         ] );
       ( "ladder",
         [

@@ -402,7 +402,7 @@ let test_classify_with_dim () =
   check bool_c "a-like entity positive" true
     (Labeling.label_equal Labeling.Pos (Labeling.get (sym "d") lab));
   match Cqfeat.classify ~dim:1 cq_all t eval_db with
-  | exception Invalid_argument _ -> ()
+  | exception Budget.Exhausted (Budget.Solver_error _) -> ()
   | _ -> Alcotest.fail "dim 1 must be rejected for Example 6.2"
 
 let test_language_member () =
