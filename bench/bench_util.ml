@@ -12,10 +12,21 @@ let cfg_with quota =
 let cfg = cfg_with 0.25
 
 (* Estimated nanoseconds per run. A larger [quota] buys tighter
-   estimates for comparisons that must resolve a few percent. *)
+   estimates for comparisons that must resolve a few percent.
+
+   The solver caches registered with Runtime_state memoize per-input
+   work across calls; clear them inside the timed thunk so every
+   iteration measures the cold path the experiments are about (the
+   reset itself clears a few small tables — noise at the scales the
+   benches resolve). *)
 let time_ns ?quota ~name fn =
   let cfg = match quota with None -> cfg | Some q -> cfg_with q in
-  let test = Test.make ~name (Staged.stage fn) in
+  let test =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Runtime_state.reset_all ();
+           fn ()))
+  in
   let elt =
     match Test.elements test with
     | [ elt ] -> elt

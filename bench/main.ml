@@ -649,6 +649,46 @@ let bench_guard_overhead () =
         ])
     [ 4; 6; 8; 10; 12 ]
 
+let bench_isolate_overhead () =
+  Bench_util.header
+    "runtime/isolate_overhead — fork + marshal cost of Isolate.run vs the \
+     in-process Guard.run it wraps";
+  Bench_util.row
+    [ (14, "workload"); (12, "in-process"); (12, "isolated"); (12, "ratio") ];
+  Bench_util.rule ();
+  let budget = Budget.make ~timeout:3600.0 ~fuel:1_000_000_000 () in
+  let cases =
+    ("trivial", fun () -> ignore (Sys.opaque_identity (21 * 2)))
+    :: List.map
+         (fun nodes ->
+           let t = random_graph_training ~seed:42 ~nodes ~edges:(2 * nodes) in
+           ( Printf.sprintf "cq_sep n=%d" nodes,
+             fun () -> ignore (Cqfeat.separable Language.Cq_all t) ))
+         [ 6; 10 ]
+  in
+  List.iter
+    (fun (name, work) ->
+      let in_process () =
+        match Guard.run (Budget.refresh budget) work with
+        | Ok () -> ()
+        | Error _ -> assert false
+      in
+      let isolated () =
+        match Isolate.run ~budget:(Budget.refresh budget) work with
+        | Ok () -> ()
+        | Error _ -> assert false
+      in
+      let a = Bench_util.time_ns ~quota:0.5 ~name:"in-process" in_process in
+      let b = Bench_util.time_ns ~quota:0.5 ~name:"isolated" isolated in
+      Bench_util.row
+        [
+          (14, name);
+          (12, Bench_util.pp_ns a);
+          (12, Bench_util.pp_ns b);
+          (12, Printf.sprintf "%.1fx" (b /. a));
+        ])
+    cases
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -674,6 +714,7 @@ let experiments =
     ("ablate/preorder", bench_ablate_preorder);
     ("ablate/hom", bench_ablate_hom_candidates);
     ("runtime/guard_overhead", bench_guard_overhead);
+    ("runtime/isolate_overhead", bench_isolate_overhead);
   ]
 
 let () =

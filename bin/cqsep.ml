@@ -8,24 +8,29 @@
 
    Exit codes: 0 separable, 1 not separable, 2 degraded answer
    (a weaker rung of the fallback ladder answered), 3 budget
-   exhausted, 4 input or solver error. *)
+   exhausted, 4 input or solver error, 5 internal error (an
+   unexpected exception; CQSEP_DEBUG=1 re-raises it with a
+   backtrace). *)
 
 let read_training path =
   Textfmt.training_of_document (Textfmt.parse_file path)
 
 let read_db path = (Textfmt.parse_file path).Textfmt.db
 
-(* Input and solver errors (malformed databases, bad parameters,
-   inputs a solver rejects) all exit 4 with the message on stderr. *)
+(* Parse and IO errors (malformed databases/models, unreadable files)
+   exit 4 with the message on stderr. Nothing broader: catching, say,
+   all Invalid_argument here would report internal bugs as user
+   errors. Solver-raised Invalid_argument still exits 4, via
+   [guarded]'s Guard.run -> Solver_error conversion. *)
 let with_input f =
   try f () with
   | Textfmt.Parse_error msg ->
       Printf.eprintf "cqsep: %s\n" msg;
       exit 4
-  | Sys_error msg ->
+  | Model_io.Parse_error msg ->
       Printf.eprintf "cqsep: %s\n" msg;
       exit 4
-  | Invalid_argument msg ->
+  | Sys_error msg ->
       Printf.eprintf "cqsep: %s\n" msg;
       exit 4
 
@@ -167,20 +172,74 @@ let no_degrade_arg =
            exhaustion exit 3 instead of retrying with weaker feature \
            languages.")
 
-(* [budget_of] is [None] when no limit was requested, so unbudgeted
-   runs keep the zero-overhead fast path. *)
+(* [budget_of] is [None] when no limit was requested ([guarded] then
+   runs under [Budget.unlimited], whose ticks stay on the fast path);
+   the ladder dispatch below keys on the option. *)
 let budget_of ~timeout ~fuel =
   match (timeout, fuel) with
   | None, None -> None
   | _ -> Some (Budget.make ?timeout ?fuel ())
 
-(* Run [f] under the optional budget, exiting 3/4 on failure. *)
-let guarded budget f =
-  match budget with
-  | None -> f ()
-  | Some b -> begin
-      match Guard.run b f with Ok v -> v | Error failure -> fail_with failure
-    end
+let isolate_arg =
+  Arg.(
+    value & flag
+    & info [ "isolate" ]
+        ~doc:
+          "Run each solver call in a forked worker process with a hard \
+           SIGKILL past the deadline: survives non-cooperative loops, \
+           stack overflow and out-of-memory, at a fork+marshal cost per \
+           call.")
+
+let grace_arg =
+  Arg.(
+    value
+    & opt duration_conv 1.0
+    & info [ "grace" ] ~docv:"DURATION"
+        ~doc:
+          "With --isolate: extra wall-clock allowance past the deadline \
+           before the worker is killed (default 1s).")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Re-run a budget-exhausted solver call up to N more times, \
+           escalating fuel and timeout by --retry-factor each attempt. \
+           Solver errors are never retried.")
+
+let retry_factor_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "retry-factor" ] ~docv:"F"
+        ~doc:"Budget escalation factor between retry attempts (default 4).")
+
+(* The execution strategy: in-process Guard.run or a forked worker,
+   optionally wrapped in the budget-escalating retry policy. *)
+let runner_of ~isolate ~grace ~retry ~retry_factor =
+  if retry < 0 then begin
+    Printf.eprintf "cqsep: --retry must be >= 0\n";
+    exit 4
+  end;
+  if retry_factor < 1.0 then begin
+    Printf.eprintf "cqsep: --retry-factor must be >= 1\n";
+    exit 4
+  end;
+  let base = if isolate then Isolate.runner ~grace () else Guard.runner in
+  if retry = 0 then base
+  else
+    Guard.retrying ~attempts:(retry + 1) ~factor:retry_factor
+      ~extend_deadline:true base
+
+(* Run [f] through the runner under the optional budget, exiting 3/4
+   on failure. Even without a budget the run goes through the runner:
+   that is what routes solver-raised Invalid_argument to exit 4 and
+   honors --isolate for unbudgeted calls. *)
+let guarded runner budget f =
+  let b = match budget with Some b -> b | None -> Budget.unlimited in
+  match runner.Guard.run b f with
+  | Ok v -> v
+  | Error failure -> fail_with failure
 
 let train_arg =
   Arg.(
@@ -213,11 +272,13 @@ let info_cmd =
     Term.(const run $ train_arg)
 
 let sep_cmd =
-  let run path lang dim eps timeout fuel no_degrade verbose =
+  let run path lang dim eps timeout fuel no_degrade isolate grace retry
+      retry_factor verbose =
     with_input @@ fun () ->
     setup_logs verbose;
     let t = read_training path in
     let budget = budget_of ~timeout ~fuel in
+    let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
     let describe =
       Printf.sprintf "%s%s%s" (Language.to_string lang)
         (match dim with Some d -> Printf.sprintf " dim<=%d" d | None -> "")
@@ -231,7 +292,8 @@ let sep_cmd =
            with decreasing m, then approximate separability with
            reported slack. *)
         let result =
-          Cq_sep.decide_with_fallback ?budget ~degrade:(not no_degrade) t
+          Cq_sep.decide_with_fallback ?budget ~degrade:(not no_degrade)
+            ~runner t
         in
         begin
           match (result.Cq_sep.answer, result.Cq_sep.provenance) with
@@ -247,7 +309,7 @@ let sep_cmd =
         end
     | _ ->
         let answer =
-          guarded budget (fun () ->
+          guarded runner budget (fun () ->
               match eps with
               | None -> Cqfeat.separable ?dim lang t
               | Some eps -> Cqfeat.apx_separable ?dim ~eps lang t)
@@ -260,7 +322,8 @@ let sep_cmd =
        ~doc:"Decide separability of a labeled training database.")
     Term.(
       const run $ train_arg $ lang_arg $ dim_arg $ eps_arg $ timeout_arg
-      $ fuel_arg $ no_degrade_arg $ verbose_arg)
+      $ fuel_arg $ no_degrade_arg $ isolate_arg $ grace_arg $ retry_arg
+      $ retry_factor_arg $ verbose_arg)
 
 let out_arg =
   Arg.(
@@ -270,11 +333,15 @@ let out_arg =
         ~doc:"Also save the generated model to FILE (see the apply command).")
 
 let generate_cmd =
-  let run path lang depth dim timeout fuel out =
+  let run path lang depth dim timeout fuel isolate grace retry retry_factor
+      out =
     with_input @@ fun () ->
     let t = read_training path in
     let budget = budget_of ~timeout ~fuel in
-    match guarded budget (fun () -> Cqfeat.generate ~ghw_depth:depth ?dim lang t)
+    let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
+    match
+      guarded runner budget (fun () ->
+          Cqfeat.generate ~ghw_depth:depth ?dim lang t)
     with
     | None ->
         print_endline "not separable: no statistic exists";
@@ -301,7 +368,8 @@ let generate_cmd =
        ~doc:"Generate a separating statistic and linear classifier.")
     Term.(
       const run $ train_arg $ lang_arg $ depth_arg $ dim_arg $ timeout_arg
-      $ fuel_arg $ out_arg)
+      $ fuel_arg $ isolate_arg $ grace_arg $ retry_arg $ retry_factor_arg
+      $ out_arg)
 
 let apply_cmd =
   let model_arg =
@@ -339,11 +407,14 @@ let mindim_cmd =
       & opt (some int) None
       & info [ "max" ] ~docv:"N" ~doc:"Search dimensions up to N.")
   in
-  let run path lang max_dim timeout fuel =
+  let run path lang max_dim timeout fuel isolate grace retry retry_factor =
     with_input @@ fun () ->
     let t = read_training path in
     let budget = budget_of ~timeout ~fuel in
-    match guarded budget (fun () -> Cqfeat.min_dimension ?max_dim lang t) with
+    let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
+    match
+      guarded runner budget (fun () -> Cqfeat.min_dimension ?max_dim lang t)
+    with
     | Some d ->
         Printf.printf "minimum %s dimension: %d\n" (Language.to_string lang) d
     | None ->
@@ -354,7 +425,8 @@ let mindim_cmd =
     (Cmd.info "mindim"
        ~doc:"Find the least statistic dimension that separates.")
     Term.(
-      const run $ train_arg $ lang_arg $ max_arg $ timeout_arg $ fuel_arg)
+      const run $ train_arg $ lang_arg $ max_arg $ timeout_arg $ fuel_arg
+      $ isolate_arg $ grace_arg $ retry_arg $ retry_factor_arg)
 
 let classify_cmd =
   let eval_arg =
@@ -363,13 +435,15 @@ let classify_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"EVAL" ~doc:"Evaluation database file.")
   in
-  let run train_path eval_path lang eps timeout fuel =
+  let run train_path eval_path lang eps timeout fuel isolate grace retry
+      retry_factor =
     with_input @@ fun () ->
     let t = read_training train_path in
     let eval_db = read_db eval_path in
     let budget = budget_of ~timeout ~fuel in
+    let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
     let labeling =
-      guarded budget (fun () ->
+      guarded runner budget (fun () ->
           match eps with
           | None -> Cqfeat.classify lang t eval_db
           | Some eps -> fst (Cqfeat.apx_classify ~eps lang t eval_db))
@@ -388,7 +462,7 @@ let classify_cmd =
           a separating statistic for the training database.")
     Term.(
       const run $ train_arg $ eval_arg $ lang_arg $ eps_arg $ timeout_arg
-      $ fuel_arg)
+      $ fuel_arg $ isolate_arg $ grace_arg $ retry_arg $ retry_factor_arg)
 
 let dot_cmd =
   let k_arg =
@@ -434,6 +508,26 @@ let () =
       ]
   in
   (* Cmdliner reports command-line parse errors as 124; fold them
-     into the documented input-error code. *)
-  let code = Cmd.eval main in
+     into the documented input-error code. Unexpected exceptions are
+     internal bugs, not user errors: exit 5 with a pointer to
+     CQSEP_DEBUG=1, which re-raises them so the runtime prints a full
+     backtrace. *)
+  let debug =
+    match Sys.getenv_opt "CQSEP_DEBUG" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  let code =
+    if debug then begin
+      Printexc.record_backtrace true;
+      Cmd.eval ~catch:false main
+    end
+    else
+      try Cmd.eval ~catch:false main
+      with e ->
+        Printf.eprintf
+          "cqsep: internal error: %s (set CQSEP_DEBUG=1 for a backtrace)\n"
+          (Printexc.to_string e);
+        5
+  in
   exit (if code = 124 then 4 else code)

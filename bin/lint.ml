@@ -31,7 +31,7 @@ let () =
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ( "--rules",
         Arg.String set_rules,
-        "R1,R2,... enable only these rules (default: all of R1-R4)" );
+        "R1,R2,... enable only these rules (default: all of R1-R5)" );
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE grandfather the findings listed (with reasons) in FILE" );

@@ -121,6 +121,8 @@ let lint_source_counted ~rules ~solver (src : Lint_source.t) =
          else []);
         (if solver && enabled Lint_finding.R4 then Lint_rules.r4_interface src
          else []);
+        (if solver && enabled Lint_finding.R5 then Lint_rules.r5_state src
+         else []);
       ]
   in
   (* R0 findings (malformed directives) ride along unconditionally:

@@ -1,6 +1,6 @@
-type rule = R0 | R1 | R2 | R3 | R4
+type rule = R0 | R1 | R2 | R3 | R4 | R5
 
-let all_rules = [ R1; R2; R3; R4 ]
+let all_rules = [ R1; R2; R3; R4; R5 ]
 
 let rule_to_string = function
   | R0 -> "R0"
@@ -8,6 +8,7 @@ let rule_to_string = function
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
+  | R5 -> "R5"
 
 let rule_of_string = function
   | "R0" | "r0" -> Some R0
@@ -15,6 +16,7 @@ let rule_of_string = function
   | "R2" | "r2" -> Some R2
   | "R3" | "r3" -> Some R3
   | "R4" | "r4" -> Some R4
+  | "R5" | "r5" -> Some R5
   | _ -> None
 
 let rule_doc = function
@@ -31,6 +33,9 @@ let rule_doc = function
   | R4 ->
       "interface hygiene: every module has an .mli; solver entry points have \
        budgeted _b counterparts"
+  | R5 ->
+      "state registration: top-level mutable state in solver libraries must \
+       register with Runtime_state for abort-safety reset/validate"
 
 type t = {
   rule : rule;

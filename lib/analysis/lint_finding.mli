@@ -12,9 +12,11 @@ type rule =
   | R2  (** exception hygiene: Guard-convertible raises, guarded [_b] *)
   | R3  (** comparison safety: no polymorphic compare/hash on domain types *)
   | R4  (** interface hygiene: [.mli] coverage and [_b] counterparts *)
+  | R5  (** state registration: top-level mutable solver state registers
+            with [Runtime_state] *)
 
 val all_rules : rule list
-(** [R1; R2; R3; R4] — the toggleable rules ([R0] is always enabled). *)
+(** [R1; R2; R3; R4; R5] — the toggleable rules ([R0] is always enabled). *)
 
 val rule_to_string : rule -> string
 val rule_of_string : string -> rule option

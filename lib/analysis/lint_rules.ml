@@ -411,6 +411,122 @@ let r3_comparisons (src : Lint_source.t) =
       it.structure it structure;
       List.rev !findings
 
+(* --- R5: runtime-state registration ---------------------------------- *)
+
+(* Modules whose [create]/[make]/[init] allocate a mutable container. *)
+let mutable_makers =
+  [ "Hashtbl"; "Queue"; "Stack"; "Buffer"; "Array"; "Weak"; "Atomic";
+    "Dynarray" ]
+
+(* Is this binding's right-hand side (head position, peeling type
+   constraints) a fresh mutable container — a [ref ...] or an
+   [M.create]/[M.make] for a mutable module M? Returns what it is, for
+   the message. *)
+let rec mutable_alloc e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> mutable_alloc e
+  | Pexp_apply (f, _) -> begin
+      match f.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident "ref"; _ }
+      | Pexp_ident
+          { txt = Longident.Ldot (Longident.Lident "Stdlib", "ref"); _ } ->
+          Some "ref"
+      | Pexp_ident
+          { txt = Longident.Ldot (Longident.Lident m, ("create" | "make" | "make_matrix" | "init"));
+            _ }
+        when List.mem m mutable_makers ->
+          Some (m ^ ".t")
+      | _ -> None
+    end
+  | _ -> None
+
+let is_runtime_state_register = function
+  | Longident.Ldot (Longident.Lident "Runtime_state", "register") -> true
+  | _ -> false
+
+(* Names mentioned anywhere inside the arguments of a
+   [Runtime_state.register] application: a top-level binding whose name
+   appears there has a reset (and possibly validate) path and counts as
+   registered. *)
+let registered_idents structure =
+  let names = Hashtbl.create 8 in
+  let record e =
+    iter_idents
+      (fun lid ->
+        match lid with
+        | Longident.Lident s -> Hashtbl.replace names s ()
+        | _ -> ())
+      e
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when is_runtime_state_register txt ->
+              List.iter (fun (_, a) -> record a) args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure;
+  names
+
+let r5_state (src : Lint_source.t) =
+  match src.ast with
+  | Intf _ -> []
+  | Impl structure ->
+      let registered = registered_idents structure in
+      let findings = ref [] in
+      let report ~loc ~name ~what =
+        findings :=
+          Lint_finding.make ~rule:Lint_finding.R5 ~file:src.path ~loc
+            ~key:(Printf.sprintf "state:%s" name)
+            (Printf.sprintf
+               "top-level mutable state `%s` (%s) is not registered with \
+                Runtime_state: a budgeted abort can leave it stale or \
+                inconsistent with no way to reset or validate it; register \
+                it (Runtime_state.register ~name:\"...\" ...) or make it \
+                local to the computation"
+               name what)
+          :: !findings
+      in
+      let check_binding vb =
+        let name =
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt; _ } -> Some txt
+          | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) ->
+              Some txt
+          | _ -> None
+        in
+        match (name, mutable_alloc vb.pvb_expr) with
+        | Some name, Some what when not (Hashtbl.mem registered name) ->
+            report ~loc:vb.pvb_pat.ppat_loc ~name ~what
+        | _ -> ()
+      in
+      (* Walk structure *items* only — recursing into nested modules but
+         never into expressions — so function-local mutable state (fine:
+         it dies with the call) is out of scope by construction. *)
+      let rec check_structure items = List.iter check_item items
+      and check_item si =
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) -> List.iter check_binding vbs
+        | Pstr_module { pmb_expr; _ } -> check_module_expr pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter (fun mb -> check_module_expr mb.pmb_expr) mbs
+        | Pstr_include { pincl_mod; _ } -> check_module_expr pincl_mod
+        | _ -> ()
+      and check_module_expr me =
+        match me.pmod_desc with
+        | Pmod_structure items -> check_structure items
+        | Pmod_constraint (me, _) -> check_module_expr me
+        | _ -> ()
+      in
+      check_structure structure;
+      List.rev !findings
+
 (* --- R4: interface hygiene ------------------------------------------- *)
 
 let r4_missing_mli ~dir ~ml ~mli =

@@ -24,6 +24,15 @@ val r3_comparisons : Lint_source.t -> Lint_finding.t list
     [=]/[<>]/[compare] applied to a [Rat]/[Bigint]-valued operand; no
     default [Hashtbl] operations keyed by a [Rat]/[Bigint] value. *)
 
+val r5_state : Lint_source.t -> Lint_finding.t list
+(** R5, solver implementations only: a top-level [let] binding whose
+    right-hand side allocates a mutable container ([ref ...],
+    [Hashtbl.create], [Queue.create], [Buffer.create], [Array.make],
+    ...) must be registered with [Runtime_state.register] somewhere in
+    the same file (detected by the binding's name occurring inside a
+    [register] call's arguments). Local mutable state inside function
+    bodies is exempt — it cannot outlive an abort. *)
+
 val r4_missing_mli :
   dir:string -> ml:string list -> mli:string list -> Lint_finding.t list
 (** R4a: every [.ml] basename in [ml] needs a matching basename in

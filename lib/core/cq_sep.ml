@@ -32,10 +32,26 @@ let hom_preorder db entities =
   done;
   m
 
+(* Deciding, generating and classifying against the same training all
+   start from the same hom preorder — the expensive part — so keep the
+   last chain, keyed by physical identity of the training value. The
+   cache is published only after [build] completes: an abort mid-way
+   (budget, chaos) can never leave a partial chain behind. *)
+let chain_cache : (Labeling.training * Preorder_chain.t) option ref = ref None
+
+let () =
+  Runtime_state.register ~name:"cq_sep.chain_cache" (fun () ->
+      chain_cache := None)
+
 let chain (t : Labeling.training) =
-  let entities = Array.of_list (Db.entities t.db) in
-  let matrix = hom_preorder t.db (Array.to_list entities) in
-  Preorder_chain.build ~entities ~matrix
+  match !chain_cache with
+  | Some (t0, ch) when t0 == t -> ch
+  | _ ->
+      let entities = Array.of_list (Db.entities t.db) in
+      let matrix = hom_preorder t.db (Array.to_list entities) in
+      let ch = Preorder_chain.build ~entities ~matrix in
+      chain_cache := Some (t, ch);
+      ch
 
 let inseparable_witness t =
   match Preorder_chain.consistent_labels (chain t) t.Labeling.labeling with
@@ -124,12 +140,15 @@ let pp_provenance fmt = function
       Format.fprintf fmt "approximate (slack %s)" (Rat.to_string slack)
   | Gave_up f -> Format.fprintf fmt "gave up: %s" (Guard.failure_to_string f)
 
-let decide_with_fallback ?budget ?(degrade = true) ?(rungs = [ 3; 2; 1 ]) t =
+let decide_with_fallback ?budget ?(degrade = true) ?(rungs = [ 3; 2; 1 ])
+    ?(runner = Guard.runner) t =
   let b = default_budget budget in
   (* One absolute deadline bounds the whole ladder; fuel is refilled
      per rung so a failed exact attempt does not starve the cheaper
-     fallbacks. *)
-  let attempt f = Guard.run (Budget.refresh b) f in
+     fallbacks. The runner decides how each rung executes: in-process
+     Guard.run (default), a forked worker (Isolate.runner), or either
+     wrapped in a retry policy (Guard.retrying). *)
+  let attempt f = runner.Guard.run (Budget.refresh b) f in
   (* Final rung: minimal training error achievable with CQ[1]
      features, reported as a misclassified fraction. A slack of zero
      certifies CQ-separability (CQ[1] ⊆ CQ); positive slack is a

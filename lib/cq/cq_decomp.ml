@@ -183,10 +183,31 @@ let ghw_le q k =
   in
   List.for_all (fun c -> solve c 0) (components all)
 
+(* ghw is a pure function of the query and each [ghw_le] probe is an
+   exponential search, so memoize on the printed form (printing is
+   injective up to syntactic identity, which is exactly the reuse we
+   want). Inserted only after the full upward search completes, so an
+   abort mid-probe never caches a wrong width. *)
+let ghw_cache : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  Runtime_state.register ~name:"cq_decomp.ghw_cache"
+    ~validate:(fun () -> Hashtbl.fold (fun _ k ok -> ok && k >= 0) ghw_cache true)
+    (fun () -> Hashtbl.reset ghw_cache)
+
 let ghw q =
-  let upper = max 0 (Cq.num_atoms q) in
-  let rec go k = if k > upper then upper else if ghw_le q k then k else go (k + 1) in
-  go 0
+  let key = Cq.to_string q in
+  match Hashtbl.find_opt ghw_cache key with
+  | Some k -> k
+  | None ->
+      let upper = max 0 (Cq.num_atoms q) in
+      (* cqlint: allow R1 — every probe runs the ticking ghw_le search *)
+      let rec go k =
+        if k > upper then upper else if ghw_le q k then k else go (k + 1)
+      in
+      let k = go 0 in
+      Hashtbl.replace ghw_cache key k;
+      k
 
 (* --- decomposition extraction ---------------------------------------- *)
 

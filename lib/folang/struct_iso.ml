@@ -4,6 +4,37 @@
    h is a homomorphism, bijective on domains, and the per-relation fact
    counts agree. *)
 
+(* Color ids, interned globally from an explicit, collision-free
+   serialization of the full signature. (This used to intern
+   [Hashtbl.hash signature], but the polymorphic hash reads only a
+   bounded prefix of a deep value — ~10 scalar leaves — so two elements
+   whose signatures first differ past that prefix silently shared a
+   color, collapsing distinct refinement classes.) The table is shared
+   across refinement runs: the key -> id map is injective, so within any
+   one run two elements share a color iff their serializations agree —
+   exactly as with a per-run table — and repeated isomorphism checks
+   over similar databases reuse the interning work. No tick can fire
+   between the insert and the counter bump, so an abort never leaves
+   the pair out of sync (the registered validate checks this). *)
+let intern : (string, int) Hashtbl.t = Hashtbl.create 64
+let intern_next = ref 0
+
+let () =
+  Runtime_state.register ~name:"struct_iso.intern"
+    ~validate:(fun () -> Hashtbl.length intern = !intern_next)
+    (fun () ->
+      Hashtbl.reset intern;
+      intern_next := 0)
+
+let intern_key key =
+  match Hashtbl.find_opt intern key with
+  | Some id -> id
+  | None ->
+      let id = !intern_next in
+      Hashtbl.replace intern key id;
+      intern_next := id + 1;
+      id
+
 let refine_colors db =
   let elems = Elem.Set.elements (Db.domain db) in
   (* Initial color: multiset of (relation, position) incidences. *)
@@ -21,23 +52,6 @@ let refine_colors db =
     List.sort compare occ
   in
   let color = Hashtbl.create 64 in
-  (* Color ids are interned from an explicit, collision-free
-     serialization of the full signature. (This used to intern
-     [Hashtbl.hash signature], but the polymorphic hash reads only a
-     bounded prefix of a deep value — ~10 scalar leaves — so two
-     elements whose signatures first differ past that prefix silently
-     shared a color, collapsing distinct refinement classes.) *)
-  let intern : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let next = ref 0 in
-  let intern_key key =
-    match Hashtbl.find_opt intern key with
-    | Some id -> id
-    | None ->
-        let id = !next in
-        incr next;
-        Hashtbl.replace intern key id;
-        id
-  in
   (* Length-prefix strings so relation names can never collide with
      the surrounding separators. *)
   let add_str buf s =

@@ -29,21 +29,48 @@ exception Exhausted of failure
 type t
 (** A budget. Mutable: fuel is consumed as the computation runs. *)
 
+(** {2 The clock}
+
+    All deadline arithmetic goes through [Clock], never through
+    [Unix.gettimeofday] directly. *)
+module Clock : sig
+  val now : unit -> float
+  (** The current time in seconds, clamped to be monotone: a backwards
+      wall-clock jump (an NTP step) freezes [now] at the last observed
+      time instead of extending or instantly expiring deadlines. *)
+
+  val set_source : (unit -> float) option -> unit
+  (** [set_source (Some f)] replaces the wall clock with [f] — the fake
+      clock hook that lets timeout paths be tested without sleeping.
+      [set_source None] restores the real clock. Either way the
+      monotonicity clamp restarts from the new source's first reading.
+      Test-only; not for production call sites. *)
+end
+
 val unlimited : t
 (** The no-op budget: never exhausts. This is the default ambient
     budget; ticks against it stay on the decrement-and-branch fast
     path. *)
 
-(** [make ?timeout ?fuel ?max_recursion ?max_size ()] builds a budget.
-    [timeout] is in seconds from now (the deadline is absolute, so one
-    budget bounds the total wall time of everything run under it);
-    [fuel] is the number of cooperative ticks allowed.
-    @raise Invalid_argument on a negative timeout or [fuel < 1]. *)
+(** [make ?timeout ?fuel ?max_recursion ?max_size ?chaos ()] builds a
+    budget. [timeout] is in seconds from now (the deadline is absolute,
+    so one budget bounds the total wall time of everything run under
+    it); [fuel] is the number of cooperative ticks allowed.
+
+    [~chaos:(seed, rate)] arms deterministic fault injection: every
+    {!tick} against the budget aborts with probability [rate], decided
+    by a pseudo-random stream derived from [seed] alone — the same seed
+    replays the same abort point. The injected failure is
+    [Fuel_exhausted "chaos injection at <loop>"], so chaos aborts flow
+    through exactly the code paths a real exhaustion would.
+    @raise Invalid_argument on a negative timeout, [fuel < 1], or a
+    chaos rate outside [0, 1]. *)
 val make :
   ?timeout:float ->
   ?fuel:int ->
   ?max_recursion:int ->
   ?max_size:int ->
+  ?chaos:int * float ->
   unit ->
   t
 
@@ -51,7 +78,17 @@ val refresh : t -> t
 (** [refresh b] is a budget with [b]'s deadline and limits but the fuel
     refilled to its initial amount — used by degradation ladders to
     give each fallback rung a fresh fuel slice under the same overall
-    deadline. *)
+    deadline. A chaos stream, if armed, is shared with [b] (it
+    continues rather than replays). *)
+
+val escalate : ?factor:float -> ?extend_deadline:bool -> t -> t
+(** [escalate b] is a budget like [b] with its fuel allowance multiplied
+    by [factor] (default 4.0, saturating at unlimited) and refilled.
+    With [~extend_deadline:true] the original relative timeout is also
+    multiplied by [factor] and the deadline re-anchored at now;
+    otherwise the absolute deadline is kept. This is the retry policy's
+    step: each attempt gets a strictly bigger budget.
+    @raise Invalid_argument when [factor < 1]. *)
 
 val is_unlimited : t -> bool
 

@@ -28,11 +28,38 @@ let run budget f =
       match e with
       | Budget.Exhausted failure -> Error failure
       | Stack_overflow -> Error (Limit_exceeded "stack overflow")
+      | Out_of_memory -> Error (Limit_exceeded "out of memory")
       | Invalid_argument msg | Failure msg -> Error (Solver_error msg)
       | Not_found -> Error (Solver_error "internal lookup failed (Not_found)")
       | Division_by_zero -> Error (Solver_error "division by zero")
       | e -> raise e
     end
+
+type runner = { run : 'a. Budget.t -> (unit -> 'a) -> ('a, failure) result }
+
+let runner = { run }
+
+let retriable ~extend_deadline = function
+  | Fuel_exhausted _ | Limit_exceeded _ -> true
+  (* Without a deadline extension, retrying a timeout under the same
+     absolute deadline would fail instantly. *)
+  | Timeout -> extend_deadline
+  | Solver_error _ -> false
+
+let retrying ?(attempts = 2) ?(factor = 4.0) ?(extend_deadline = false) inner =
+  if attempts < 1 then invalid_arg "Guard.retrying: attempts must be >= 1";
+  let run : 'a. Budget.t -> (unit -> 'a) -> ('a, failure) result =
+   fun budget f ->
+    let rec go attempt b =
+      match inner.run b f with
+      | Ok _ as ok -> ok
+      | Error failure when attempt < attempts && retriable ~extend_deadline failure ->
+          go (attempt + 1) (Budget.escalate ~factor ~extend_deadline b)
+      | Error _ as err -> err
+    in
+    go 1 budget
+  in
+  { run }
 
 let run_result budget f =
   match run budget f with

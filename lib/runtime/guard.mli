@@ -29,9 +29,31 @@ val run : Budget.t -> (unit -> 'a) -> ('a, failure) result
     - with the failure carried by {!Budget.Exhausted} when a
       cooperative {!Budget.tick} aborted the run;
     - [Limit_exceeded "stack overflow"] on [Stack_overflow];
+    - [Limit_exceeded "out of memory"] on [Out_of_memory];
     - [Solver_error msg] on
       [Invalid_argument]/[Failure]/[Not_found]/[Division_by_zero].
     Other exceptions propagate unchanged. *)
+
+type runner = { run : 'a. Budget.t -> (unit -> 'a) -> ('a, failure) result }
+(** A pluggable execution strategy for budgeted calls. Code that wants
+    to offer a choice of {!run}, hard process isolation
+    ({!Isolate.runner}) or retries ({!retrying}) takes a [runner]
+    instead of calling {!run} directly — the record's polymorphic field
+    lets one runner serve calls of every result type. *)
+
+val runner : runner
+(** The in-process default: [runner.run] is {!run}. *)
+
+val retrying :
+  ?attempts:int -> ?factor:float -> ?extend_deadline:bool -> runner -> runner
+(** [retrying inner] wraps a runner with a bounded retry policy for
+    resource failures: on [Fuel_exhausted]/[Limit_exceeded] (and on
+    [Timeout] when [extend_deadline] is set) the call is re-run under
+    {!Budget.escalate}[ ~factor ~extend_deadline] of the previous
+    budget, up to [attempts] total attempts (default 2; [factor]
+    defaults to 4.0). [Solver_error]s are never retried — a rejected
+    input does not become valid under a bigger budget.
+    @raise Invalid_argument when [attempts < 1]. *)
 
 val run_result : Budget.t -> (unit -> ('a, failure) result) -> ('a, failure) result
 (** [run_result budget f] is {!run} for an [f] that already returns a

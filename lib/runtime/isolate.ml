@@ -1,0 +1,157 @@
+(* Hard isolation: run a solver thunk in a forked worker process.
+
+   Cooperative budgets only work when the solver ticks; a loop that
+   forgets to, a native-stack overflow, or an allocation storm the GC
+   cannot satisfy still takes the calling process down. Forking buys a
+   hard guarantee: the parent SIGKILLs the worker once the deadline
+   plus a grace period passes, and every abnormal exit — signal, OOM
+   kill, marshal failure — maps onto a structured {!Guard.failure}.
+
+   Protocol: the worker runs [Guard.run budget f], marshals the whole
+   [('a, failure) result] (with [Marshal.Closures], safe because both
+   ends are the same process image) onto a pipe, and [_exit]s — never
+   [exit], which would run [at_exit] handlers and flush the parent's
+   buffered output a second time. The parent drains the pipe under a
+   [select] deadline and decodes. *)
+
+(* Worker exit codes past the normal protocol. *)
+let exit_ok = 0
+let exit_report_failed = 2
+let exit_oom_reporting = 3
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then begin
+      let written =
+        try Unix.write fd bytes off (n - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + written)
+    end
+  in
+  go 0
+
+let rec waitpid_no_eintr pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_no_eintr pid
+
+let child_main ~budget ~fd f =
+  let result =
+    match Guard.run budget f with
+    | r -> r
+    | exception e ->
+        (* Guard.run propagates unknown exceptions; a worker must not
+           die with an unstructured error, so fold them here. *)
+        Error
+          (Guard.Solver_error ("isolate: worker raised " ^ Printexc.to_string e))
+  in
+  match Marshal.to_bytes result [ Marshal.Closures ] with
+  | bytes -> ( try write_all fd bytes; Unix.close fd; exit_ok with _ -> exit_report_failed)
+  | exception Out_of_memory -> exit_oom_reporting
+  | exception _ -> exit_report_failed
+
+let default_grace = 1.0
+
+let run (type a) ?budget ?timeout ?(grace = default_grace) (f : unit -> a) :
+    (a, Guard.failure) result =
+  if grace < 0.0 then invalid_arg "Isolate.run: negative grace";
+  (match timeout with
+  | Some s when s < 0.0 -> invalid_arg "Isolate.run: negative timeout"
+  | _ -> ());
+  let budget = match budget with Some b -> b | None -> Budget.installed () in
+  let kill_after =
+    match timeout with Some s -> Some s | None -> Budget.remaining_time budget
+  in
+  let read_fd, write_fd = Unix.pipe () in
+  (* Anything sitting in the parent's buffers would be flushed by both
+     processes otherwise. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* The worker: compute, report, vanish. *)
+      let code =
+        match Unix.close read_fd with
+        | () -> child_main ~budget ~fd:write_fd f
+        | exception _ -> exit_report_failed
+      in
+      Unix._exit code
+  | pid ->
+      Unix.close write_fd;
+      let kill_deadline =
+        Option.map (fun s -> Budget.Clock.now () +. s +. grace) kill_after
+      in
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let killed = ref false in
+      let kill () =
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        killed := true
+      in
+      (* Drain the pipe to EOF. Past the kill deadline, SIGKILL the
+         worker and keep draining briefly — death closes the pipe's
+         write end, so EOF arrives promptly. *)
+      let rec drain () =
+        let wait =
+          if !killed then 1.0
+          else
+            match kill_deadline with
+            | None -> -1.0 (* block until the worker reports *)
+            | Some d -> Float.max 0.0 (d -. Budget.Clock.now ())
+        in
+        match Unix.select [ read_fd ] [] [] wait with
+        | [], _, _ -> if not !killed then begin kill (); drain () end
+        | _ :: _, _, _ -> begin
+            match Unix.read read_fd chunk 0 (Bytes.length chunk) with
+            | 0 -> () (* EOF *)
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+          end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Unix.close read_fd;
+      let status = waitpid_no_eintr pid in
+      if !killed then Error Guard.Timeout
+      else begin
+        match status with
+        | Unix.WEXITED code when code = exit_ok -> begin
+            match
+              (Marshal.from_bytes (Buffer.to_bytes buf) 0
+                : (a, Guard.failure) result)
+            with
+            | result -> result
+            | exception _ ->
+                Error
+                  (Guard.Solver_error "isolate: undecodable worker result")
+          end
+        | Unix.WEXITED code when code = exit_oom_reporting ->
+            Error (Guard.Limit_exceeded "isolate: worker out of memory")
+        | Unix.WEXITED code ->
+            Error
+              (Guard.Solver_error
+                 (Printf.sprintf "isolate: worker exited with code %d" code))
+        | Unix.WSIGNALED signal when signal = Sys.sigkill ->
+            (* Not our kill — most likely the kernel's OOM killer. *)
+            Error
+              (Guard.Limit_exceeded
+                 "isolate: worker killed (out of memory, most likely)")
+        | Unix.WSIGNALED signal when signal = Sys.sigsegv ->
+            Error
+              (Guard.Limit_exceeded
+                 "isolate: worker crashed (native stack exhaustion, most \
+                  likely)")
+        | Unix.WSIGNALED signal ->
+            Error
+              (Guard.Solver_error
+                 (Printf.sprintf "isolate: worker killed by signal %d" signal))
+        | Unix.WSTOPPED _ ->
+            Error (Guard.Solver_error "isolate: worker stopped unexpectedly")
+      end
+
+let runner ?grace () =
+  { Guard.run = (fun budget f -> run ~budget ?grace f) }

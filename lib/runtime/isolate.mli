@@ -1,0 +1,36 @@
+(** Hard, non-cooperative isolation: run a solver thunk in a forked
+    worker process with a wall-clock kill.
+
+    {!Guard.run} keeps its promises only while the solver cooperates —
+    ticks in every loop, bounded native stack, survivable allocation.
+    [Isolate.run] holds them against a hostile computation too: the
+    worker is SIGKILLed once the deadline plus a grace period passes,
+    and every abnormal exit (signal, OOM kill, stack-overflow crash,
+    marshal failure) comes back as a structured {!Guard.failure}.
+
+    The price is a [fork] and a [Marshal] round-trip per call (see the
+    [runtime/isolate_overhead] bench), plus the fork-safety caveats:
+    the worker inherits a copy of the parent's state, and its result
+    must be marshalable — plain data and closures are fine, custom
+    blocks (channels, file descriptors) are not. Unix only. *)
+
+val run :
+  ?budget:Budget.t ->
+  ?timeout:float ->
+  ?grace:float ->
+  (unit -> 'a) ->
+  ('a, Guard.failure) result
+(** [run ?budget ?timeout ?grace f] forks, runs [Guard.run budget f] in
+    the worker (default budget: the ambient one), and reads the
+    marshaled result back. The kill deadline is [timeout] seconds from
+    now when given, else the budget's remaining time, else none; the
+    worker is SIGKILLed [grace] (default 1.0) seconds after it passes,
+    which maps to [Error Timeout]. A worker the kernel kills instead
+    (OOM, SIGSEGV from native-stack exhaustion) maps to
+    [Error (Limit_exceeded _)].
+    @raise Invalid_argument on a negative [timeout] or [grace]. *)
+
+val runner : ?grace:float -> unit -> Guard.runner
+(** [runner ()] packages {!run} as a {!Guard.runner}, for call sites
+    (the degradation ladder, [cqsep --isolate]) that choose their
+    execution strategy at run time. *)

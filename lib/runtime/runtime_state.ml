@@ -1,0 +1,33 @@
+(* The abort-safety registry for top-level mutable solver state.
+
+   Budgeted computations can be aborted at any tick (deadline, fuel,
+   chaos injection), so a cache or memo table that lives at module top
+   level must be resettable and self-checkable from one choke point —
+   otherwise a chaos test has no way to prove an abort left it sound.
+   cqlint rule R5 rejects top-level mutable state in solver directories
+   that never registers here. *)
+
+type entry = {
+  name : string;
+  reset : unit -> unit;
+  validate : unit -> bool;
+}
+
+let registry : entry list ref = ref []
+
+let register ~name ?(validate = fun () -> true) reset =
+  if List.exists (fun e -> String.equal e.name name) !registry then
+    invalid_arg
+      (Printf.sprintf "Runtime_state.register: duplicate name %S" name);
+  registry := { name; reset; validate } :: !registry
+
+let names () =
+  List.sort String.compare (List.map (fun e -> e.name) !registry)
+
+let registered name = List.exists (fun e -> String.equal e.name name) !registry
+let reset_all () = List.iter (fun e -> e.reset ()) !registry
+
+let validate_all () =
+  !registry
+  |> List.filter_map (fun e -> if e.validate () then None else Some e.name)
+  |> List.sort String.compare

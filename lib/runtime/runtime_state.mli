@@ -1,0 +1,37 @@
+(** Registry of top-level mutable solver state, for the abort-safety
+    audit.
+
+    Budgeted computations abort at arbitrary tick sites (deadline,
+    fuel, chaos injection), so any cache or memo table that outlives a
+    single call must be registered here with a [reset] action and,
+    ideally, an internal-consistency [validate]. The chaos test suite
+    uses the registry as its single choke point: reset everything
+    before a seeded run, validate everything after an abort. cqlint
+    rule R5 enforces registration for top-level mutable bindings in
+    solver directories.
+
+    Registration happens at module initialization
+    ([let () = Runtime_state.register ...]) and is not thread-safe —
+    like the ambient budget, the registry assumes single-domain use. *)
+
+val register :
+  name:string -> ?validate:(unit -> bool) -> (unit -> unit) -> unit
+(** [register ~name ?validate reset] adds an entry. [name] should be
+    ["module.binding"] (e.g. ["cq_sep.chain_cache"]). [reset] must
+    restore the state to its pristine, just-loaded value; [validate]
+    (default: always true) checks internal invariants without mutating
+    anything.
+    @raise Invalid_argument on a duplicate [name]. *)
+
+val names : unit -> string list
+(** All registered names, sorted. *)
+
+val registered : string -> bool
+
+val reset_all : unit -> unit
+(** Reset every registered piece of state to pristine. Answers computed
+    afterwards must not depend on anything computed before. *)
+
+val validate_all : unit -> string list
+(** Run every [validate]; returns the (sorted) names that failed —
+    [[]] means every registered invariant holds. *)

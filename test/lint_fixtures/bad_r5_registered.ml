@@ -1,0 +1,20 @@
+(* The same state as bad_r5.ml, properly registered: naming the
+   bindings inside the Runtime_state.register call is what R5 checks
+   for. *)
+
+let memo : (string, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+
+let () =
+  Runtime_state.register ~name:"fixture.memo"
+    ~validate:(fun () -> Hashtbl.length memo >= 0)
+    (fun () ->
+      Hashtbl.reset memo;
+      hits := 0)
+
+let lookup key =
+  match Hashtbl.find_opt memo key with
+  | Some v ->
+      incr hits;
+      Some v
+  | None -> None

@@ -1,0 +1,14 @@
+(* The same shapes as bad_r5.ml, silenced by reasoned directives. *)
+
+(* cqlint: allow R5 — fixture: append-only cache, stale entries are sound *)
+let memo : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* cqlint: allow R5 — fixture: counter is diagnostic only *)
+let hits = ref 0
+
+let lookup key =
+  match Hashtbl.find_opt memo key with
+  | Some v ->
+      incr hits;
+      Some v
+  | None -> None

@@ -49,7 +49,8 @@ let test_r2_suppressed () =
 
 let test_r3_fires () =
   check keys_c "hash, polymorphic compare, domain Hashtbl key"
-    [ ("R3", "hash"); ("R3", "polyeq:Rat"); ("R3", "hashtbl-key:Rat") ]
+    [ ("R3", "hash"); ("R3", "polyeq:Rat"); ("R5", "state:cache");
+      ("R3", "hashtbl-key:Rat") ]
     (rule_keys (lint "bad_r3.ml"))
 
 let test_r3_suppressed () =
@@ -64,6 +65,23 @@ let test_r4_fires () =
 let test_r4_suppressed () =
   check keys_c "reasoned directives silence R4" []
     (rule_keys (lint "bad_r4_suppressed.mli"))
+
+let test_r5_fires () =
+  check keys_c "unregistered top-level mutable state (locals exempt)"
+    [ ("R5", "state:memo"); ("R5", "state:hits") ]
+    (rule_keys (lint "bad_r5.ml"))
+
+let test_r5_suppressed () =
+  check keys_c "reasoned directives silence R5" []
+    (rule_keys (lint "bad_r5_suppressed.ml"))
+
+let test_r5_registered_clean () =
+  check keys_c "Runtime_state.register mentioning the bindings counts" []
+    (rule_keys (lint "bad_r5_registered.ml"))
+
+let test_r5_off_outside_solver_dirs () =
+  check keys_c "R5 is scoped to solver directories" []
+    (rule_keys (lint ~solver:false "bad_r5.ml"))
 
 let test_reasonless_rejected () =
   let keys = rule_keys (lint "reasonless.ml") in
@@ -116,6 +134,12 @@ let () =
           Alcotest.test_case "R3 suppressed" `Quick test_r3_suppressed;
           Alcotest.test_case "R4 fires" `Quick test_r4_fires;
           Alcotest.test_case "R4 suppressed" `Quick test_r4_suppressed;
+          Alcotest.test_case "R5 fires" `Quick test_r5_fires;
+          Alcotest.test_case "R5 suppressed" `Quick test_r5_suppressed;
+          Alcotest.test_case "R5 registered clean" `Quick
+            test_r5_registered_clean;
+          Alcotest.test_case "R5 solver-scoped" `Quick
+            test_r5_off_outside_solver_dirs;
           Alcotest.test_case "reasonless rejected" `Quick
             test_reasonless_rejected;
         ] );

@@ -81,6 +81,132 @@ let test_guard_restores_ambient () =
   check bool_c "ambient unlimited after" true
     (Budget.is_unlimited (Budget.installed ()))
 
+(* Nested Guard.run must restore the outer ambient budget whatever the
+   inner outcome — success, exhaustion, or a stack overflow unwinding
+   through the handler. Assertions run OUTSIDE the guarded closures
+   (an Alcotest failure raised inside would be swallowed into
+   Solver_error). *)
+let test_guard_reentrant_after_failure () =
+  let outer = Budget.make ~fuel:100_000 () in
+  let result =
+    Guard.run outer (fun () ->
+        let after_exhaustion =
+          match
+            Guard.run
+              (Budget.make ~fuel:2 ())
+              (fun () ->
+                while true do
+                  Budget.tick ()
+                done)
+          with
+          | Error (Guard.Fuel_exhausted _) -> Budget.installed () == outer
+          | _ -> false
+        in
+        let after_overflow =
+          match
+            Guard.run Budget.unlimited (fun () ->
+                let rec deep n = if n <= 0 then 0 else 1 + deep (n - 1) in
+                deep 1_000_000_000)
+          with
+          | Error (Guard.Limit_exceeded _) -> Budget.installed () == outer
+          | _ -> false
+        in
+        (after_exhaustion, after_overflow))
+  in
+  (match result with
+  | Ok (after_exhaustion, after_overflow) ->
+      check bool_c "outer restored after inner exhaustion" true
+        after_exhaustion;
+      check bool_c "outer restored after inner stack overflow" true
+        after_overflow
+  | Error f -> Alcotest.failf "outer run failed: %s" (Guard.failure_to_string f));
+  check bool_c "ambient unlimited after nested failures" true
+    (Budget.is_unlimited (Budget.installed ()))
+
+(* --- the clock seam --------------------------------------------------- *)
+
+let with_fake_clock t f =
+  Budget.Clock.set_source (Some (fun () -> !t));
+  Fun.protect
+    ~finally:(fun () -> Budget.Clock.set_source None)
+    (fun () -> f t)
+
+(* [replenish] only consults the clock once per credit window, so the
+   loops below run well past one window to guarantee a clock check. *)
+let many_ticks () =
+  for _ = 1 to 5_000 do
+    Budget.tick ~what:"fake clock loop" ()
+  done
+
+let test_fake_clock_deadline () =
+  with_fake_clock (ref 1_000.0) @@ fun t ->
+  let b = Budget.make ~timeout:10.0 () in
+  (match Guard.run b many_ticks with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "must not trip before the fake deadline: %s"
+        (Guard.failure_to_string f));
+  t := 1_020.0;
+  match Guard.run (Budget.refresh b) many_ticks with
+  | Error Guard.Timeout -> ()
+  | Error f -> Alcotest.failf "unexpected %s" (Guard.failure_to_string f)
+  | Ok () -> Alcotest.fail "advancing the fake clock past the deadline must trip"
+
+let test_fake_clock_backwards_jump_clamped () =
+  with_fake_clock (ref 2_000.0) @@ fun t ->
+  check bool_c "clock at fake time" true (Budget.Clock.now () >= 2_000.0);
+  let b = Budget.make ~timeout:10.0 () in
+  t := 500.0;
+  check bool_c "backwards jump clamped to the high-water mark" true
+    (Budget.Clock.now () >= 2_000.0);
+  check bool_c "backwards jump does not extend the deadline" true
+    (Budget.remaining_time b <= Some 10.0)
+
+(* --- chaos basics ----------------------------------------------------- *)
+
+let ticks_until_chaos budget =
+  let n = ref 0 in
+  match
+    Guard.run budget (fun () ->
+        for _ = 1 to 100_000 do
+          Budget.tick ~what:"chaos probe" ();
+          incr n
+        done)
+  with
+  | Ok () -> None
+  | Error _ -> Some !n
+
+let test_chaos_rate_one () =
+  match ticks_until_chaos (Budget.make ~chaos:(7, 1.0) ()) with
+  | Some 0 -> ()
+  | Some n -> Alcotest.failf "rate 1.0 must trip at the first tick, not %d" n
+  | None -> Alcotest.fail "rate 1.0 must trip"
+
+let test_chaos_rate_zero () =
+  match ticks_until_chaos (Budget.make ~chaos:(7, 0.0) ()) with
+  | None -> ()
+  | Some n -> Alcotest.failf "rate 0.0 must never trip (tripped after %d)" n
+
+let test_chaos_deterministic_per_seed () =
+  let at seed = ticks_until_chaos (Budget.make ~chaos:(seed, 0.01) ()) in
+  check bool_c "same seed, same interruption point" true (at 42 = at 42);
+  check bool_c "chaos injects as a resource failure" true
+    (match
+       Guard.run
+         (Budget.make ~chaos:(3, 1.0) ())
+         (fun () -> Budget.tick ())
+     with
+    | Error f -> Guard.is_resource_failure f
+    | Ok () -> false)
+
+let test_chaos_validation () =
+  (match Budget.make ~chaos:(1, -0.1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative chaos rate must be rejected");
+  match Budget.make ~chaos:(1, 1.5) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "chaos rate > 1 must be rejected"
+
 let test_budget_refresh () =
   let b = Budget.make ~fuel:10 () in
   let burn () =
@@ -305,6 +431,23 @@ let () =
           Alcotest.test_case "validation" `Quick test_budget_validation;
           Alcotest.test_case "refresh" `Quick test_budget_refresh;
         ] );
+      ( "clock",
+        [
+          Alcotest.test_case "fake clock drives the deadline" `Quick
+            test_fake_clock_deadline;
+          Alcotest.test_case "backwards jumps are clamped" `Quick
+            test_fake_clock_backwards_jump_clamped;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "rate 1.0 trips immediately" `Quick
+            test_chaos_rate_one;
+          Alcotest.test_case "rate 0.0 never trips" `Quick
+            test_chaos_rate_zero;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_chaos_deterministic_per_seed;
+          Alcotest.test_case "rate validation" `Quick test_chaos_validation;
+        ] );
       ( "guard",
         [
           Alcotest.test_case "ok" `Quick test_guard_ok;
@@ -314,6 +457,8 @@ let () =
             test_guard_maps_exceptions;
           Alcotest.test_case "ambient nesting" `Quick
             test_guard_restores_ambient;
+          Alcotest.test_case "ambient restored after nested failures" `Quick
+            test_guard_reentrant_after_failure;
         ] );
       ( "fault injection",
         [
