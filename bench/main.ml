@@ -689,6 +689,78 @@ let bench_isolate_overhead () =
         ])
     cases
 
+let bench_lint_typed () =
+  Bench_util.header
+    "analysis/lint_typed — typed lint pass over lib/: cmt loading and \
+     call-graph construction vs rule evaluation";
+  let root =
+    List.find_opt
+      (fun d ->
+        Sys.file_exists (Filename.concat d "dune-project")
+        && Sys.file_exists (Filename.concat d "lib"))
+      [ "."; ".."; Filename.concat ".." ".." ]
+  in
+  match root with
+  | None ->
+      Bench_util.row [ (60, "skipped: repository root not found from cwd") ]
+  | Some root ->
+      let solver_dirs =
+        [ "core"; "cq"; "relational"; "folang"; "covergame"; "lp"; "linsep" ]
+      in
+      let lib = Filename.concat root "lib" in
+      let dirs =
+        List.sort compare
+          (List.filter
+             (fun d -> Sys.is_directory (Filename.concat lib d))
+             (Array.to_list (Sys.readdir lib)))
+      in
+      let load () =
+        List.concat_map
+          (fun d ->
+            let entries = Array.to_list (Sys.readdir (Filename.concat lib d)) in
+            let with_ext e = List.filter (fun f -> Filename.check_suffix f e) entries in
+            Lint_cmt.load_units ~root
+              ~rel_dir:(Filename.concat "lib" d)
+              ~lib_name:d ~ml:(with_ext ".ml") ~mli:(with_ext ".mli")
+            |> List.filter_map (fun (u : Lint_cmt.unit_info) ->
+                   match (u.u_impl, u.u_ml) with
+                   | Some impl, Some file ->
+                       Some
+                         {
+                           Typed_rules.s_mod = u.u_module;
+                           s_file = file;
+                           s_mli = u.u_mli;
+                           s_solver = List.mem d solver_dirs;
+                           s_impl = impl;
+                           s_intf = u.u_intf;
+                         }
+                   | _ -> None))
+          dirs
+      in
+      let sources = load () in
+      let build srcs =
+        Callgraph.build
+          (List.map
+             (fun (s : Typed_rules.source) -> (s.Typed_rules.s_mod, s.s_impl))
+             srcs)
+      in
+      let g = build sources in
+      let findings = Typed_rules.run g sources in
+      Bench_util.row [ (16, "phase"); (14, "time") ];
+      Bench_util.rule ();
+      let phase name thunk =
+        let ns =
+          Bench_util.time_ns ~name (fun () ->
+              ignore (Sys.opaque_identity (thunk ())))
+        in
+        Bench_util.row [ (16, name); (14, Bench_util.pp_ns ns) ]
+      in
+      phase "cmt_load" load;
+      phase "graph_build" (fun () -> build sources);
+      phase "rule_eval" (fun () -> Typed_rules.run g sources);
+      Printf.printf "  (%d modules, %d graph nodes, %d findings pre-filter)\n"
+        (List.length sources) (Callgraph.size g) (List.length findings)
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -715,6 +787,7 @@ let experiments =
     ("ablate/hom", bench_ablate_hom_candidates);
     ("runtime/guard_overhead", bench_guard_overhead);
     ("runtime/isolate_overhead", bench_isolate_overhead);
+    ("analysis/lint_typed", bench_lint_typed);
   ]
 
 let () =

@@ -1,15 +1,23 @@
 (* cqlint — static analysis over the repo's own sources.
 
-   Exit codes: 0 clean, 1 findings, 2 internal error (unparsable
-   source, unreadable/malformed baseline, bad flags). *)
+   Exit codes: 0 clean, 1 findings (or stale baseline entries under
+   --strict-baseline), 2 internal error (unparsable source,
+   unreadable/malformed baseline, bad flags). *)
 
-let usage = "cqlint [--root DIR] [--rules R1,R2,...] [--baseline FILE] [--json] [--write-baseline] [--quiet]"
+let usage =
+  "cqlint [--root DIR] [--rules R1,R2,...] [--baseline FILE] \
+   [--strict-baseline] [--no-typed] [--dump-callgraph] [--json] \
+   [--sarif FILE] [--write-baseline] [--quiet]"
 
 let () =
   let root = ref "." in
   let rules = ref Lint_finding.all_rules in
   let baseline = ref None in
+  let strict_baseline = ref false in
+  let typed = ref true in
+  let dump_callgraph = ref false in
   let json = ref false in
+  let sarif = ref None in
   let write_baseline = ref false in
   let quiet = ref false in
   let bad_flags = ref [] in
@@ -31,11 +39,26 @@ let () =
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ( "--rules",
         Arg.String set_rules,
-        "R1,R2,... enable only these rules (default: all of R1-R5)" );
+        "R1,R2,... enable only these rules (default: all of R1-R8)" );
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE grandfather the findings listed (with reasons) in FILE" );
+      ( "--strict-baseline",
+        Arg.Set strict_baseline,
+        " stale baseline entries are an error (exit 1), not a warning" );
+      ( "--typed",
+        Arg.Set typed,
+        " load .cmt files and run the typed pass (default)" );
+      ( "--no-typed",
+        Arg.Clear typed,
+        " Parsetree rules only; skip the typed pass" );
+      ( "--dump-callgraph",
+        Arg.Set dump_callgraph,
+        " print the whole-library call graph and exit" );
       ("--json", Arg.Set json, " emit findings as a JSON array");
+      ( "--sarif",
+        Arg.String (fun f -> sarif := Some f),
+        "FILE also write findings to FILE as SARIF 2.1.0" );
       ( "--write-baseline",
         Arg.Set write_baseline,
         " print baseline lines for the current findings and exit 0" );
@@ -58,8 +81,20 @@ let () =
       (* Regenerating the baseline must see the full finding list (and
          must not require the old file to exist), so skip reading it. *)
       baseline = (if !write_baseline then None else !baseline);
+      typed = !typed;
     }
   in
+  if !dump_callgraph then begin
+    match Lint_driver.callgraph config with
+    | Error msg ->
+        Printf.eprintf "cqlint: internal error: %s\n" msg;
+        exit 2
+    | Ok g ->
+        let buf = Buffer.create 4096 in
+        Callgraph.dump g buf;
+        print_string (Buffer.contents buf);
+        exit 0
+  end;
   match Lint_driver.run config with
   | Error msg ->
       Printf.eprintf "cqlint: internal error: %s\n" msg;
@@ -67,14 +102,34 @@ let () =
   | Ok report ->
       let open Lint_driver in
       List.iter
-        (fun e -> Printf.eprintf "cqlint: warning: stale baseline entry: %s\n" e)
+        (fun e ->
+          Printf.eprintf "cqlint: %s: stale baseline entry: %s\n"
+            (if !strict_baseline then "error" else "warning")
+            e)
         report.stale_baseline;
+      List.iter
+        (fun f ->
+          Printf.eprintf
+            "cqlint: warning: no annotation for %s \xe2\x80\x94 Parsetree \
+             rules only (run `dune build @lint` or `dune build` to \
+             generate .cmt files)\n"
+            f)
+        report.degraded;
       if !write_baseline then begin
         List.iter
           (fun f -> print_endline (Lint_driver.baseline_line f))
           report.findings;
         exit 0
       end;
+      (match !sarif with
+      | None -> ()
+      | Some file ->
+          let oc = open_out_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc (Lint_sarif.to_sarif report.findings);
+              output_char oc '\n'));
       if !json then print_endline (Lint_finding.list_to_json report.findings)
       else
         List.iter
@@ -82,8 +137,10 @@ let () =
           report.findings;
       if not !quiet then
         Printf.eprintf
-          "cqlint: %d file(s), %d finding(s), %d suppressed, %d baselined\n"
-          report.files_checked
+          "cqlint: %d file(s), %d typed module(s), %d finding(s), %d \
+           suppressed, %d baselined\n"
+          report.files_checked report.typed_modules
           (List.length report.findings)
           report.suppressed report.baselined;
-      exit (if report.findings = [] then 0 else 1)
+      let stale_fails = !strict_baseline && report.stale_baseline <> [] in
+      exit (if report.findings = [] && not stale_fails then 0 else 1)

@@ -5,9 +5,11 @@ type config = {
   root : string;
   rules : Lint_finding.rule list;
   baseline : string option;
+  typed : bool;
 }
 
-let default_config ~root = { root; rules = Lint_finding.all_rules; baseline = None }
+let default_config ~root =
+  { root; rules = Lint_finding.all_rules; baseline = None; typed = true }
 
 type report = {
   findings : Lint_finding.t list;
@@ -15,6 +17,8 @@ type report = {
   suppressed : int;
   baselined : int;
   stale_baseline : string list;
+  typed_modules : int;
+  degraded : string list;
 }
 
 (* --- baseline --------------------------------------------------------- *)
@@ -107,9 +111,9 @@ let matches_baseline entries (f : Lint_finding.t) =
       && e.b_key = f.Lint_finding.key)
     entries
 
-(* --- per-file and tree runs ------------------------------------------ *)
+(* --- per-file runs ---------------------------------------------------- *)
 
-let lint_source_counted ~rules ~solver (src : Lint_source.t) =
+let lint_source_counted ?(extra = []) ~rules ~solver (src : Lint_source.t) =
   let enabled r = List.mem r rules in
   let raw =
     List.concat
@@ -125,9 +129,11 @@ let lint_source_counted ~rules ~solver (src : Lint_source.t) =
          else []);
       ]
   in
-  (* R0 findings (malformed directives) ride along unconditionally:
-     a broken suppression must never pass silently. *)
-  Lint_source.apply src raw
+  (* R0 findings (malformed directives) ride along unconditionally: a
+     broken suppression must never pass silently. [extra] is the typed
+     findings attributed to this file — suppression directives govern
+     them exactly like the Parsetree findings. *)
+  Lint_source.apply src (raw @ extra)
 
 let lint_source ~rules ~solver src =
   fst (lint_source_counted ~rules ~solver src)
@@ -149,8 +155,149 @@ let list_dir path =
 
 let ( let* ) = Result.bind
 
+(* --- directory scan --------------------------------------------------- *)
+
+type dirspec = {
+  ds_rel : string;  (* root-relative, e.g. "lib/core" or "bin" *)
+  ds_path : string;  (* filesystem path *)
+  ds_solver : bool;
+  ds_lib : bool;  (* library dir: .mli discipline + typed pass *)
+  ds_ml : string list;
+  ds_mli : string list;
+}
+
+(* [bin]/[bench] hold executables: no .mli discipline, no solver
+   rules, no cmt loading — R0/R2/R3 apply. *)
+let exec_dirs = [ "bin"; "bench" ]
+
+let scan_dirs root =
+  let lib_dir = Filename.concat root "lib" in
+  let* subdirs = list_dir lib_dir in
+  let subdirs =
+    List.filter (fun d -> Sys.is_directory (Filename.concat lib_dir d)) subdirs
+  in
+  let spec ~rel ~path ~solver ~lib =
+    let* entries = list_dir path in
+    Ok
+      {
+        ds_rel = rel;
+        ds_path = path;
+        ds_solver = solver;
+        ds_lib = lib;
+        ds_ml = List.filter (fun f -> Filename.check_suffix f ".ml") entries;
+        ds_mli = List.filter (fun f -> Filename.check_suffix f ".mli") entries;
+      }
+  in
+  let* libs =
+    List.fold_left
+      (fun acc d ->
+        let* acc = acc in
+        let* s =
+          spec
+            ~rel:(Filename.concat "lib" d)
+            ~path:(Filename.concat lib_dir d)
+            ~solver:(List.mem d solver_dirs) ~lib:true
+        in
+        Ok (s :: acc))
+      (Ok []) subdirs
+  in
+  let* execs =
+    List.fold_left
+      (fun acc d ->
+        let* acc = acc in
+        let path = Filename.concat root d in
+        if Sys.file_exists path && Sys.is_directory path then
+          let* s = spec ~rel:d ~path ~solver:false ~lib:false in
+          Ok (s :: acc)
+        else Ok acc)
+      (Ok []) exec_dirs
+  in
+  Ok (List.rev libs @ List.rev execs)
+
+(* --- typed pass ------------------------------------------------------- *)
+
+(* The library name names the [.objs] directory the cmts live in; read
+   it from the dir's dune file rather than assuming it matches the
+   directory name. *)
+let lib_name_of_dune path =
+  match read_file path with
+  | Error _ -> None
+  | Ok s ->
+      let len = String.length s in
+      let is_word c =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      in
+      let rec find i =
+        if i + 5 > len then None
+        else if String.sub s i 5 = "(name" then begin
+          let j = ref (i + 5) in
+          while
+            !j < len && (s.[!j] = ' ' || s.[!j] = '\n' || s.[!j] = '\t')
+          do
+            incr j
+          done;
+          let k = ref !j in
+          while !k < len && is_word s.[!k] do
+            incr k
+          done;
+          if !k > !j then Some (String.sub s !j (!k - !j)) else None
+        end
+        else find (i + 1)
+      in
+      find 0
+
+let load_typed ~root dirs =
+  List.fold_left
+    (fun (sources, degraded) ds ->
+      if not ds.ds_lib then (sources, degraded)
+      else
+        match lib_name_of_dune (Filename.concat ds.ds_path "dune") with
+        | None ->
+            ( sources,
+              degraded
+              @ List.map (Filename.concat ds.ds_rel) (ds.ds_ml @ ds.ds_mli) )
+        | Some lib_name ->
+            let units =
+              Lint_cmt.load_units ~root ~rel_dir:ds.ds_rel ~lib_name
+                ~ml:ds.ds_ml ~mli:ds.ds_mli
+            in
+            let srcs =
+              List.filter_map
+                (fun (u : Lint_cmt.unit_info) ->
+                  match (u.u_impl, u.u_ml) with
+                  | Some impl, Some file ->
+                      Some
+                        {
+                          Typed_rules.s_mod = u.u_module;
+                          s_file = file;
+                          s_mli = u.u_mli;
+                          s_solver = ds.ds_solver;
+                          s_impl = impl;
+                          s_intf = u.u_intf;
+                        }
+                  | _ -> None)
+                units
+            in
+            (sources @ srcs, degraded @ Lint_cmt.degraded_sources units))
+    ([], []) dirs
+
+let build_graph sources =
+  Callgraph.build
+    (List.map
+       (fun (s : Typed_rules.source) -> (s.Typed_rules.s_mod, s.s_impl))
+       sources)
+
+let callgraph config =
+  let* dirs = scan_dirs config.root in
+  let sources, _ = load_typed ~root:config.root dirs in
+  Ok (build_graph sources)
+
+(* --- the tree run ----------------------------------------------------- *)
+
 let run config =
-  let lib_dir = Filename.concat config.root "lib" in
   let* baseline =
     match config.baseline with
     | None -> Ok []
@@ -158,48 +305,74 @@ let run config =
         let* contents = read_file path in
         parse_baseline contents
   in
-  let* subdirs = list_dir lib_dir in
-  let subdirs =
-    List.filter
-      (fun d -> Sys.is_directory (Filename.concat lib_dir d))
-      subdirs
+  let* dirs = scan_dirs config.root in
+  let typed_sources, degraded =
+    if config.typed then load_typed ~root:config.root dirs else ([], [])
   in
+  let typed_findings =
+    match typed_sources with
+    | [] -> []
+    | srcs ->
+        List.filter
+          (fun (f : Lint_finding.t) -> List.mem f.rule config.rules)
+          (Typed_rules.run (build_graph srcs) srcs)
+  in
+  let typed_by_file = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Lint_finding.t) ->
+      let prev =
+        match Hashtbl.find_opt typed_by_file f.file with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace typed_by_file f.file (f :: prev))
+    typed_findings;
+  let typed_covered = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Typed_rules.source) ->
+      Hashtbl.replace typed_covered s.Typed_rules.s_file ())
+    typed_sources;
   let enabled r = List.mem r config.rules in
   let* per_dir =
     List.fold_left
-      (fun acc dir ->
+      (fun acc ds ->
         let* acc = acc in
-        let dir_path = Filename.concat lib_dir dir in
-        let* entries = list_dir dir_path in
-        let ml = List.filter (fun f -> Filename.check_suffix f ".ml") entries in
-        let mli =
-          List.filter (fun f -> Filename.check_suffix f ".mli") entries
-        in
-        let solver = List.mem dir solver_dirs in
         let structural =
-          if enabled Lint_finding.R4 then
-            Lint_rules.r4_missing_mli
-              ~dir:(Filename.concat "lib" dir)
-              ~ml ~mli
+          if ds.ds_lib && enabled Lint_finding.R4 then
+            Lint_rules.r4_missing_mli ~dir:ds.ds_rel ~ml:ds.ds_ml
+              ~mli:ds.ds_mli
           else []
         in
         let* file_findings =
           List.fold_left
             (fun acc file ->
               let* acc = acc in
-              let fs_path = Filename.concat dir_path file in
-              let rel_path =
-                Filename.concat (Filename.concat "lib" dir) file
-              in
+              let fs_path = Filename.concat ds.ds_path file in
+              let rel_path = Filename.concat ds.ds_rel file in
               let* src = Lint_source.load ~path:rel_path fs_path in
+              (* The typed pass subsumes R1 for files it has a cmt
+                 for; files without one keep the Parsetree R1
+                 (degraded, but never silent). *)
+              let eff_rules =
+                if Hashtbl.mem typed_covered rel_path then
+                  List.filter (fun r -> r <> Lint_finding.R1) config.rules
+                else config.rules
+              in
+              let extra =
+                match Hashtbl.find_opt typed_by_file rel_path with
+                | Some l -> List.rev l
+                | None -> []
+              in
               let findings, nsup =
-                lint_source_counted ~rules:config.rules ~solver src
+                lint_source_counted ~extra ~rules:eff_rules
+                  ~solver:ds.ds_solver src
               in
               Ok ((1, nsup, findings) :: acc))
-            (Ok []) (ml @ mli)
+            (Ok [])
+            (ds.ds_ml @ ds.ds_mli)
         in
         Ok ((structural, file_findings) :: acc))
-      (Ok []) subdirs
+      (Ok []) dirs
   in
   let files_checked =
     List.fold_left
@@ -247,4 +420,6 @@ let run config =
       suppressed;
       baselined = List.length grandfathered;
       stale_baseline = stale;
+      typed_modules = List.length typed_sources;
+      degraded;
     }

@@ -1,5 +1,14 @@
-(** The cqlint driver: walk [lib/], run the enabled rules, apply
-    suppressions and the committed baseline, and produce a report.
+(** The cqlint driver: walk [lib/], [bin/] and [bench/], run the
+    enabled rules — the typed, whole-library pass where [.cmt] files
+    exist, the Parsetree rules everywhere — apply suppressions and the
+    committed baseline, and produce a report.
+
+    The typed pass loads each library's [-bin-annot] output, builds
+    one interprocedural call graph over everything it found, and
+    evaluates R1' (which subsumes the Parsetree R1 for covered files),
+    R6, R7 and R8. A module whose cmt is missing or unreadable falls
+    back to the Parsetree rules and is listed in [degraded] — reduced
+    precision is always reported, never silent.
 
     The baseline file grandfathers pre-existing findings without
     touching the offending lines. One finding per line:
@@ -13,13 +22,14 @@
     longer match anything are reported as stale. *)
 
 val solver_dirs : string list
-(** The worst-case-exponential libraries R1/R4b apply to:
+(** The worst-case-exponential libraries R1/R4b/R5/R6 apply to:
     [core cq relational folang covergame lp linsep]. *)
 
 type config = {
-  root : string;  (** directory containing [lib/] *)
+  root : string;  (** directory containing [lib/] (and [bin]/[bench]) *)
   rules : Lint_finding.rule list;  (** enabled rules *)
   baseline : string option;  (** baseline file path, if any *)
+  typed : bool;  (** load cmts and run the typed pass (default true) *)
 }
 
 val default_config : root:string -> config
@@ -31,6 +41,10 @@ type report = {
   baselined : int;  (** grandfathered by the baseline file *)
   stale_baseline : string list;
       (** baseline entries that matched no finding *)
+  typed_modules : int;  (** modules the typed pass loaded cmts for *)
+  degraded : string list;
+      (** library sources with no readable annotation — Parsetree
+          fallback *)
 }
 
 val lint_source :
@@ -38,14 +52,18 @@ val lint_source :
   solver:bool ->
   Lint_source.t ->
   Lint_finding.t list
-(** Run the per-file rules on one parsed source (R1 and R4b gated on
-    [solver]) and apply its suppression directives. This is the unit
-    the linter's own tests drive. *)
+(** Run the per-file Parsetree rules on one parsed source (R1 and R4b
+    gated on [solver]) and apply its suppression directives. This is
+    the unit the linter's own tests drive. *)
 
 val run : config -> (report, string) result
-(** Lint every [.ml]/[.mli] under [root/lib]. [Error] on unreadable or
-    unparsable sources and on malformed baseline files — internal
-    errors, distinct from findings (exit 2 vs 1). *)
+(** Lint the tree under [root]. [Error] on unreadable or unparsable
+    sources and on malformed baseline files — internal errors,
+    distinct from findings (exit 2 vs 1). *)
+
+val callgraph : config -> (Callgraph.t, string) result
+(** Build (only) the whole-library call graph, for
+    [--dump-callgraph]. *)
 
 type baseline_entry = {
   b_rule : Lint_finding.rule;

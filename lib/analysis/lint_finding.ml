@@ -1,6 +1,6 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R5
+type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_to_string = function
   | R0 -> "R0"
@@ -9,6 +9,9 @@ let rule_to_string = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_of_string = function
   | "R0" | "r0" -> Some R0
@@ -17,6 +20,9 @@ let rule_of_string = function
   | "R3" | "r3" -> Some R3
   | "R4" | "r4" -> Some R4
   | "R5" | "r5" -> Some R5
+  | "R6" | "r6" -> Some R6
+  | "R7" | "r7" -> Some R7
+  | "R8" | "r8" -> Some R8
   | _ -> None
 
 let rule_doc = function
@@ -36,6 +42,15 @@ let rule_doc = function
   | R5 ->
       "state registration: top-level mutable state in solver libraries must \
        register with Runtime_state for abort-safety reset/validate"
+  | R6 ->
+      "determinism (typed): no PRNG, wall-clock, or order-dependent Hashtbl \
+       iteration reachable from a solver's exported surface"
+  | R7 ->
+      "marshal safety (typed): types crossing Isolate's fork result channel \
+       must be transitively closure- and custom-block-free"
+  | R8 ->
+      "_b drift (typed): budgeted _b entry points must match their \
+       unbudgeted twin modulo ?budget and the Guard.failure result wrapper"
 
 type t = {
   rule : rule;

@@ -14,9 +14,17 @@ type rule =
   | R4  (** interface hygiene: [.mli] coverage and [_b] counterparts *)
   | R5  (** state registration: top-level mutable solver state registers
             with [Runtime_state] *)
+  | R6  (** determinism (typed): no PRNG/wall-clock/Hashtbl-order on paths
+            from a solver's exported surface *)
+  | R7  (** marshal safety (typed): Isolate-crossing result types are
+            closure- and custom-block-free *)
+  | R8  (** [_b] drift (typed): budgeted twins agree modulo [?budget] and
+            the result wrapper *)
 
 val all_rules : rule list
-(** [R1; R2; R3; R4; R5] — the toggleable rules ([R0] is always enabled). *)
+(** [R1; ...; R8] — the toggleable rules ([R0] is always enabled).
+    [R6]-[R8] (and the interprocedural upgrade of [R1]) only fire when
+    the typed pass has [.cmt] input. *)
 
 val rule_to_string : rule -> string
 val rule_of_string : string -> rule option
@@ -46,6 +54,9 @@ val compare : t -> t -> int
 
 val to_text : t -> string
 (** [file:line:col: RULE [key] message] — one line, compiler-style. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping, shared with the SARIF writer. *)
 
 val to_json : t -> string
 (** One finding as a JSON object (no trailing newline). *)

@@ -1,0 +1,34 @@
+(* SARIF 2.1.0 output, the minimal subset GitHub code scanning
+   ingests: one run, one driver, the rule catalogue, and one result
+   per finding with a physical location and a stable fingerprint (the
+   baseline key, so annotations track findings across unrelated
+   edits). Hand-rolled like the JSON output — no dependencies. *)
+
+let esc = Lint_finding.json_escape
+
+let rule_ids =
+  Lint_finding.R0 :: Lint_finding.all_rules
+  |> List.map (fun r ->
+         Printf.sprintf
+           "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+           (Lint_finding.rule_to_string r)
+           (esc (Lint_finding.rule_doc r)))
+
+let result (f : Lint_finding.t) =
+  Printf.sprintf
+    "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\"%s\"},\
+     \"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\
+     \"region\":{\"startLine\":%d,\"startColumn\":%d}}}],\
+     \"partialFingerprints\":{\"cqlintKey\":\"%s\"}}"
+    (Lint_finding.rule_to_string f.rule)
+    (esc f.message) (esc f.file) f.line
+    (f.col + 1) (* SARIF columns are 1-based *)
+    (esc (f.file ^ "#" ^ f.key))
+
+let to_sarif findings =
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"cqlint\",\
+     \"informationUri\":\"docs/LINT.md\",\"rules\":[%s]}},\"results\":[%s]}]}"
+    (String.concat "," rule_ids)
+    (String.concat "," (List.map result findings))

@@ -1,0 +1,6 @@
+(** SARIF 2.1.0 rendering of lint findings — the subset GitHub code
+    scanning consumes (rule catalogue, per-finding physical location,
+    stable [partialFingerprints] from the baseline key). *)
+
+val to_sarif : Lint_finding.t list -> string
+(** One complete SARIF document (a single run), no trailing newline. *)

@@ -28,6 +28,7 @@ let max_var_occurrences q =
           Hashtbl.replace occ v (c + 1))
         (Fact.args f))
     (atoms q);
+  (* cqlint: allow R6 — max is commutative and associative: fold order cannot change the result *)
   Hashtbl.fold (fun _ c acc -> max c acc) occ 0
 
 let selects q db e =
@@ -262,6 +263,7 @@ let iso_canonical_string q =
         ex;
       List.sort
         (fun (c1, _) (c2, _) -> compare c1 c2)
+        (* cqlint: allow R6 — fold output is immediately sorted by the unique class key *)
         (Hashtbl.fold (fun c vs acc -> (c, List.rev vs) :: acc) tbl [])
     in
     (* Name blocks: class i gets names y_offset.. in some within-class

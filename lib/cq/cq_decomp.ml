@@ -53,6 +53,7 @@ let is_free_acyclic q =
         bits m 0)
       !edges;
     let lonely =
+      (* cqlint: allow R6 — lor is commutative and associative: fold order cannot change the mask *)
       Hashtbl.fold
         (fun i c acc -> if c = 1 then acc lor (1 lsl i) else acc)
         occurrences 0
@@ -226,6 +227,7 @@ let decomposition q ~k =
   let edges = Array.of_list (edge_masks q tbl) in
   (* Map bit positions back to variables. *)
   let var_of_bit = Array.make n Cq.default_free in
+  (* cqlint: allow R6 — each iteration writes a distinct array slot (the index is injective) *)
   Hashtbl.iter (fun v i -> var_of_bit.(i) <- v) tbl;
   let set_of_mask mask =
     let s = ref Elem.Set.empty in

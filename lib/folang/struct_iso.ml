@@ -162,6 +162,7 @@ let find_isomorphism ?(fix = []) a b =
           let n = match Hashtbl.find_opt tbl c with Some n -> n | None -> 0 in
           Hashtbl.replace tbl c (n + 1))
         colors;
+      (* cqlint: allow R6 — fold output is immediately sorted *)
       List.sort compare (Hashtbl.fold (fun _ n acc -> n :: acc) tbl [])
     in
     if class_sizes ca <> class_sizes cb then None

@@ -55,14 +55,19 @@ module Vec_key = struct
 end
 
 let group_by_vector examples =
+  (* First-seen key order, not Hashtbl.fold order: the groups feed the
+     LP builder, so their order must be a function of the input alone. *)
   let tbl = Hashtbl.create 64 in
+  let order = ref [] in
   List.iter
     (fun ex ->
       let key = Vec_key.key ex.vec in
       let pos, neg, vec =
         match Hashtbl.find_opt tbl key with
         | Some t -> t
-        | None -> (0, 0, ex.vec)
+        | None ->
+            order := key :: !order;
+            (0, 0, ex.vec)
       in
       let pos, neg =
         match ex.label with
@@ -71,7 +76,7 @@ let group_by_vector examples =
       in
       Hashtbl.replace tbl key (pos, neg, vec))
     examples;
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
 
 let separable_iff_consistent examples =
   List.for_all (fun (pos, neg, _) -> pos = 0 || neg = 0) (group_by_vector examples)

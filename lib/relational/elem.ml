@@ -1,5 +1,6 @@
 type t = Sym of string | Int of int | Tup of t list
 
+(* cqlint: allow R1 — structural recursion bounded by the element's size *)
 let rec compare a b =
   match (a, b) with
   | Sym x, Sym y -> String.compare x y

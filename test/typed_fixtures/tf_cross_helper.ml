@@ -1,0 +1,10 @@
+(* Helpers the cross-module R1' fixtures call into. *)
+
+(* Does NOT tick: a loop that only steps through this must be flagged. *)
+let step n = n - 1
+
+(* Ticks: a loop that steps through this is budget-disciplined even
+   though the tick lives in another module. *)
+let ticking_step n =
+  Budget.tick ();
+  n - 1

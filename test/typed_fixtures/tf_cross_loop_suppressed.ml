@@ -1,0 +1,16 @@
+(* Same shadowing trap as Tf_cross_loop, but with a reasoned
+   suppression: directives must silence typed findings exactly like
+   Parsetree ones. *)
+
+let step n =
+  Budget.tick ();
+  n - 1
+
+open Tf_cross_helper
+
+let drain n =
+  let x = ref n in
+  (* cqlint: allow R1 — fixture: suppressions govern typed findings too *)
+  while !x > 0 do
+    x := step !x
+  done

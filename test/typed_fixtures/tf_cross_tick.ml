@@ -1,0 +1,9 @@
+(* The Parsetree R1's false positive, fixed by the typed pass: the
+   only tick is behind a cross-module (Ldot) call, which name-based
+   crediting cannot see but the call graph can. *)
+
+let drain n =
+  let x = ref n in
+  while !x > 0 do
+    x := Tf_cross_helper.ticking_step !x
+  done

@@ -1,0 +1,11 @@
+let size n = n
+
+let size_b ?budget:_ n = Ok n
+
+let decide n = n > 0
+
+let decide_b ?budget:_ x = Ok (x > 0.)
+
+let rank n = n
+
+let rank_b ?budget:_ x = Ok (int_of_float x)

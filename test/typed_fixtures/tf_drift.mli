@@ -1,0 +1,17 @@
+(* R8 fixtures: `_b` entry points must agree with their unbudgeted
+   twins modulo the budget argument and the result wrapper. *)
+
+(* A well-formed pair: no finding. *)
+val size : int -> int
+val size_b : ?budget:Budget.t -> int -> (int, Guard.failure) result
+
+(* Drifted: the budgeted twin takes a float where the base takes an
+   int. *)
+val decide : int -> bool
+val decide_b : ?budget:Budget.t -> float -> (bool, Guard.failure) result
+
+(* Drifted the same way, but suppressed with a reason. *)
+val rank : int -> int
+
+(* cqlint: allow R8 — fixture: migration in flight, tracked elsewhere *)
+val rank_b : ?budget:Budget.t -> float -> (int, Guard.failure) result

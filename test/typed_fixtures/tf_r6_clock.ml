@@ -1,0 +1,4 @@
+(* R6 negative: Budget.Clock is the sanctioned time source, so an
+   exported function built on it must stay clean. *)
+
+let elapsed since = Budget.Clock.now () -. since

@@ -1,0 +1,1 @@
+val elapsed : float -> float

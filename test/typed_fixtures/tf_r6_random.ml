@@ -1,0 +1,11 @@
+(* R6 positive: the exported entry point reaches Random.int through a
+   private helper. The finding lands on the mention, inside the
+   helper. *)
+
+let pick n = Random.int n
+
+let choose n = pick n + 1
+
+(* Not exported (the .mli hides it), so this Sys.time must NOT be
+   flagged: only paths from the exported surface count. *)
+let unexported n = int_of_float (Sys.time ()) + n

@@ -1,0 +1,1 @@
+val choose : int -> int

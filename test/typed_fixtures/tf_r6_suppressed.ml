@@ -1,0 +1,8 @@
+(* R6 suppressed variant: same sink as Tf_r6_random, silenced by a
+   reasoned directive on the mention line. *)
+
+let pick n =
+  (* cqlint: allow R6 — fixture: seeded upstream, reproducible by construction *)
+  Random.int n
+
+let choose n = pick n + 1

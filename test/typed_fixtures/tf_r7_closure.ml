@@ -1,0 +1,9 @@
+(* R7 positives: results that cannot cross the Isolate process
+   boundary. The first smuggles a closure (an arrow type) through a
+   Guard.runner; the second returns a Seq.t, which is a thunk in
+   disguise. *)
+
+let smuggle_closure budget =
+  Guard.runner.run budget (fun () -> fun x -> x + 1)
+
+let smuggle_seq () = Isolate.run (fun () -> Seq.empty)

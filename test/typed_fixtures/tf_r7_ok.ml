@@ -1,0 +1,6 @@
+(* R7 negative: a first-order result (tuples, lists, strings, ints)
+   marshals fine, including through a record-typed runner. *)
+
+let fine budget = Guard.runner.run budget (fun () -> [ (1, "a"); (2, "b") ])
+
+let fine_direct () = Isolate.run (fun () -> Some 42)

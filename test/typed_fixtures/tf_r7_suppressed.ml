@@ -1,0 +1,6 @@
+(* R7 suppressed variant: the closure-returning site from
+   Tf_r7_closure behind a reasoned directive. *)
+
+let smuggle_closure budget =
+  (* cqlint: allow R7 — fixture: result is consumed in-process in this test *)
+  Guard.runner.run budget (fun () -> fun x -> x + 1)
