@@ -762,6 +762,109 @@ let bench_lint_typed () =
         (List.length sources) (Callgraph.size g) (List.length findings)
 
 (* ------------------------------------------------------------------ *)
+(* Job service: the fsync'd journal is on every submit/complete path, *)
+(* and recovery time bounds how fast a crashed daemon is back up.     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_wal_throughput () =
+  Bench_util.header
+    "service/wal_throughput — fsync'd append cost and replay rate of the \
+     checksummed journal";
+  Bench_util.row [ (10, "payload"); (16, "append+fsync"); (14, "replay/rec") ];
+  Bench_util.rule ();
+  List.iter
+    (fun size ->
+      let payload = String.make size 'j' in
+      let path = Filename.temp_file "cqbench" ".wal" in
+      let w = Wal.open_append path in
+      let append_ns =
+        Bench_util.time_ns ~name:"append" (fun () -> Wal.append w payload)
+      in
+      Wal.close w;
+      (* a fixed 256-record log for the replay side *)
+      Sys.remove path;
+      let w = Wal.open_append path in
+      for _ = 1 to 256 do
+        Wal.append w payload
+      done;
+      Wal.close w;
+      let replay_ns =
+        Bench_util.time_ns ~name:"replay" (fun () ->
+            let rep = Wal.replay path in
+            if List.length rep.Wal.records <> 256 then
+              failwith "bench: short replay")
+      in
+      Sys.remove path;
+      Bench_util.row
+        [
+          (10, Printf.sprintf "%d B" size);
+          (16, Bench_util.pp_ns append_ns);
+          (14, Bench_util.pp_ns (replay_ns /. 256.0));
+        ])
+    [ 64; 1024; 16384 ]
+
+let bench_service_recovery () =
+  Bench_util.header
+    "service/recovery_latency — WAL replay + state rebuild on daemon \
+     restart, by journaled job count";
+  Bench_util.row [ (10, "jobs"); (12, "events"); (14, "recovery") ];
+  Bench_util.rule ();
+  List.iter
+    (fun njobs ->
+      let wal = Filename.temp_file "cqbench" ".wal" in
+      Sys.remove wal;
+      let cfg =
+        {
+          Service.wal_path = wal;
+          pool_size = 4;
+          queue_capacity = njobs + 8;
+          default_timeout = None;
+          breaker_threshold = 1000;
+          breaker_cooldown = 30.0;
+          retries = 0;
+          retry_backoff = 0.01;
+          grace = 1.0;
+        }
+      in
+      (* populate the journal with a full run of real jobs *)
+      let svc = Service.start cfg in
+      for _ = 1 to njobs do
+        match
+          Service.submit svc
+            {
+              Job.kind = Job.Selftest { spin = 50 };
+              db_path = "";
+              timeout = None;
+              fuel = None;
+            }
+        with
+        | Ok _ -> ()
+        | Error _ -> failwith "bench: submit rejected"
+      done;
+      let deadline = Unix.gettimeofday () +. 120.0 in
+      while (not (Service.idle svc)) && Unix.gettimeofday () < deadline do
+        ignore (Service.step svc);
+        match Unix.select (Service.wait_fds svc) [] [] 0.005 with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Service.close svc;
+      let events = List.length (Wal.replay wal).Wal.records in
+      let ns =
+        Bench_util.time_ns ~name:"recovery" (fun () ->
+            let svc = Service.start cfg in
+            Service.close svc)
+      in
+      Sys.remove wal;
+      Bench_util.row
+        [
+          (10, string_of_int njobs);
+          (12, string_of_int events);
+          (14, Bench_util.pp_ns ns);
+        ])
+    [ 32; 128; 512 ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -787,6 +890,8 @@ let experiments =
     ("ablate/hom", bench_ablate_hom_candidates);
     ("runtime/guard_overhead", bench_guard_overhead);
     ("runtime/isolate_overhead", bench_isolate_overhead);
+    ("service/wal_throughput", bench_wal_throughput);
+    ("service/recovery_latency", bench_service_recovery);
     ("analysis/lint_typed", bench_lint_typed);
   ]
 

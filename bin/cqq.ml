@@ -1,0 +1,307 @@
+(* cqq — client for the cqserved daemon.
+
+   One request line per connection over the daemon's Unix-domain
+   socket; see bin/cqserved.ml for the protocol.
+
+   Exit codes: 0 success (for [submit --wait]: the job completed), 1
+   the awaited job failed, 2 the submission was rejected or the job
+   was shed, 3 the daemon is unreachable or replied with an error,
+   5 internal error. *)
+
+let connect_timeout = 5.0
+
+let die_unreachable socket_path why =
+  Printf.eprintf "cqq: cannot reach daemon at %s: %s\n" socket_path why;
+  exit 3
+
+(* One round trip: connect, send the line, read the reply line. The fd
+   is closed on every path. *)
+let request socket_path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+      | () -> ()
+      | exception Unix.Unix_error (err, _, _) ->
+          die_unreachable socket_path (Unix.error_message err));
+      let payload = Bytes.of_string (line ^ "\n") in
+      let n = Bytes.length payload in
+      let rec send off =
+        if off < n then
+          match Unix.write fd payload off (n - off) with
+          | written -> send (off + written)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+      in
+      send 0;
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 1024 in
+      let deadline = Unix.gettimeofday () +. connect_timeout in
+      let rec recv () =
+        let wait = deadline -. Unix.gettimeofday () in
+        if wait <= 0.0 then die_unreachable socket_path "reply timed out"
+        else
+          match Unix.select [ fd ] [] [] wait with
+          | [], _, _ -> die_unreachable socket_path "reply timed out"
+          | _ -> begin
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Buffer.contents buf
+              | n -> begin
+                  match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+                  | Some i ->
+                      Buffer.add_subbytes buf chunk 0 i;
+                      Buffer.contents buf
+                  | None ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      recv ()
+                end
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+            end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+      in
+      recv ())
+
+(* Replies are "OK ...", "REJECT <code> <why>", "UNKNOWN <id>",
+   "ERR <why>". *)
+let split_reply reply =
+  match String.index_opt reply ' ' with
+  | None -> (reply, "")
+  | Some i ->
+      (String.sub reply 0 i, String.sub reply (i + 1) (String.length reply - i - 1))
+
+let exit_of_reply reply =
+  let tag, rest = split_reply reply in
+  match tag with
+  | "OK" | "UNKNOWN" ->
+      print_endline (if rest = "" then reply else rest);
+      if tag = "OK" then 0 else 3
+  | "REJECT" ->
+      Printf.eprintf "cqq: rejected: %s\n" rest;
+      2
+  | _ ->
+      Printf.eprintf "cqq: daemon error: %s\n" rest;
+      3
+
+(* Poll the job to a terminal state. The interval backs off to spare
+   the daemon; total patience is the caller's (ctrl-C). *)
+let wait_for socket_path id =
+  let rec go interval =
+    let reply = request socket_path ("STATUS " ^ id) in
+    let tag, rest = split_reply reply in
+    if tag <> "OK" then begin
+      Printf.eprintf "cqq: daemon error: %s\n" reply;
+      3
+    end
+    else if String.length rest >= 5 && String.sub rest 0 5 = "done:" then begin
+      print_endline rest;
+      0
+    end
+    else if String.length rest >= 7 && String.sub rest 0 7 = "failed:" then begin
+      Printf.eprintf "cqq: %s: %s\n" id rest;
+      1
+    end
+    else if String.length rest >= 5 && String.sub rest 0 5 = "shed:" then begin
+      Printf.eprintf "cqq: %s: %s\n" id rest;
+      2
+    end
+    else begin
+      Unix.sleepf interval;
+      go (Float.min 0.5 (interval *. 1.5))
+    end
+  in
+  go 0.02
+
+(* --- CLI -------------------------------------------------------------- *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"The daemon's socket path.")
+
+let duration_of_string s0 =
+  let s = String.trim s0 in
+  let bad () =
+    Error
+      (`Msg
+        (Printf.sprintf "bad duration %S (expected e.g. 250ms, 2s, or plain seconds)" s0))
+  in
+  let ends_with suffix =
+    let ls = String.length s and lx = String.length suffix in
+    ls > lx && String.sub s (ls - lx) lx = suffix
+  in
+  let scaled scale suffix =
+    let num = String.sub s 0 (String.length s - String.length suffix) in
+    match float_of_string_opt (String.trim num) with
+    | Some f when f >= 0.0 -> Ok (f *. scale)
+    | _ -> bad ()
+  in
+  if s = "" then bad ()
+  else if ends_with "us" then scaled 1e-6 "us"
+  else if ends_with "ms" then scaled 1e-3 "ms"
+  else if ends_with "s" then scaled 1.0 "s"
+  else
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 -> Ok f
+    | _ -> bad ()
+
+let duration_conv =
+  Arg.conv (duration_of_string, fun fmt secs -> Format.fprintf fmt "%gs" secs)
+
+let kind_arg =
+  Arg.(
+    value & opt string "sep"
+    & info [ "k"; "kind" ] ~docv:"KIND"
+        ~doc:"Job kind: sep, ladder, generate, or selftest.")
+
+let lang_arg =
+  Arg.(
+    value & opt string "cq"
+    & info [ "l"; "lang" ] ~docv:"LANG"
+        ~doc:"Feature language (cqsep syntax: cq, cq[m], ghw(k), ...).")
+
+let db_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"PATH" ~doc:"Training database (textfmt).")
+
+let dim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "d"; "dim" ] ~docv:"N" ~doc:"Bound the statistic dimension.")
+
+let ghw_depth_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "ghw-depth" ] ~docv:"N"
+        ~doc:"Unraveling depth for GHW generation (default 2).")
+
+let spin_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "spin" ] ~docv:"N" ~doc:"Selftest busy-work ticks (default 1000).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some duration_conv) None
+    & info [ "timeout" ] ~docv:"DURATION" ~doc:"Per-job budget wall clock.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N" ~doc:"Per-job budget ticks.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some duration_conv) None
+    & info [ "deadline" ] ~docv:"DURATION"
+        ~doc:
+          "Admission deadline, relative: the job is shed (never run) if \
+           it cannot finish by then.")
+
+let wait_arg =
+  Arg.(
+    value & flag
+    & info [ "wait" ] ~doc:"Poll until the job reaches a terminal state.")
+
+let id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB-ID")
+
+let spec_of ~kind ~lang ~db ~dim ~ghw_depth ~spin ~timeout ~fuel =
+  let job_kind =
+    match kind with
+    | "sep" -> Ok (Job.Sep { lang; dim })
+    | "ladder" -> Ok Job.Ladder
+    | "generate" -> Ok (Job.Generate { lang; ghw_depth; dim })
+    | "selftest" -> Ok (Job.Selftest { spin })
+    | other -> Error ("unknown job kind: " ^ other)
+  in
+  match job_kind with
+  | Error _ as e -> e
+  | Ok k ->
+      Ok
+        {
+          Job.kind = k;
+          db_path = (match db with Some p -> p | None -> "");
+          timeout;
+          fuel;
+        }
+
+let submit_cmd =
+  let run socket kind lang db dim ghw_depth spin timeout fuel deadline wait =
+    match spec_of ~kind ~lang ~db ~dim ~ghw_depth ~spin ~timeout ~fuel with
+    | Error msg ->
+        Printf.eprintf "cqq: %s\n" msg;
+        2
+    | Ok spec -> begin
+        match Job.validate spec with
+        | Error msg ->
+            Printf.eprintf "cqq: invalid job: %s\n" msg;
+            2
+        | Ok () ->
+            let line =
+              match deadline with
+              | None -> "SUBMIT " ^ Job.spec_to_wire spec
+              | Some r ->
+                  Printf.sprintf "SUBMIT deadline=%g %s" r
+                    (Job.spec_to_wire spec)
+            in
+            let reply = request socket line in
+            let tag, rest = split_reply reply in
+            if tag = "OK" && wait then wait_for socket rest
+            else exit_of_reply reply
+      end
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a job; prints its id (or waits with --wait).")
+    Term.(
+      const run $ socket_arg $ kind_arg $ lang_arg $ db_arg $ dim_arg
+      $ ghw_depth_arg $ spin_arg $ timeout_arg $ fuel_arg $ deadline_arg
+      $ wait_arg)
+
+let status_cmd =
+  let run socket id = exit_of_reply (request socket ("STATUS " ^ id)) in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Print a job's state.")
+    Term.(const run $ socket_arg $ id_arg)
+
+let simple_cmd name ~doc line =
+  let run socket = exit_of_reply (request socket line) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg)
+
+let stats_cmd = simple_cmd "stats" ~doc:"Print service counters." "STATS"
+let list_cmd = simple_cmd "list" ~doc:"List all known job ids." "LIST"
+let ping_cmd = simple_cmd "ping" ~doc:"Check the daemon is alive." "PING"
+
+let drain_cmd =
+  let run socket =
+    exit_of_reply (request socket "DRAIN")
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:
+         "Ask the daemon to drain: finish admitted jobs, accept nothing \
+          new, exit when idle.")
+    Term.(const run $ socket_arg)
+
+let () =
+  let doc = "client for the cqserved solver job daemon" in
+  let main =
+    Cmd.group
+      (Cmd.info "cqq" ~version:"1.0.0" ~doc)
+      [ submit_cmd; status_cmd; stats_cmd; list_cmd; drain_cmd; ping_cmd ]
+  in
+  let code =
+    try Cmd.eval' ~catch:false main
+    with e ->
+      Printf.eprintf "cqq: internal error: %s\n" (Printexc.to_string e);
+      5
+  in
+  exit code

@@ -359,7 +359,7 @@ let r7_marshal tbl sources =
       match f.Typedtree.exp_desc with
       | Typedtree.Texp_ident (p, _, _) ->
           let n = tyname p in
-          if n = "Isolate.run" then Some n else None
+          if n = "Isolate.run" || n = "Isolate.spawn" then Some n else None
       | Typedtree.Texp_field (_, _, ld) when ld.Types.lbl_name = "run" ->
           begin
             match Types.get_desc ld.Types.lbl_res with
@@ -379,8 +379,20 @@ let r7_marshal tbl sources =
       match site_head f with
       | None -> ()
       | Some via -> begin
-          match Types.get_desc (codomain e.Typedtree.exp_type) with
-          | Types.Tconstr (p, [ ok; _err ], _) when tyname p = "result" ->
+          (* Isolate.run : ... -> (ok, failure) result;
+             Isolate.spawn : ... -> ok Isolate.worker. Either way [ok]
+             is what the worker marshals back. *)
+          let ok_component =
+            match Types.get_desc (codomain e.Typedtree.exp_type) with
+            | Types.Tconstr (p, [ ok; _err ], _) when tyname p = "result" ->
+                Some ok
+            | Types.Tconstr (p, [ ok ], _)
+              when tyname p = "Isolate.worker" || tyname p = "worker" ->
+                Some ok
+            | _ -> None
+          in
+          match ok_component with
+          | Some ok ->
               begin
                 match violation tbl ~depth:40 ~seen:[] ok with
                 | None -> ()
@@ -403,7 +415,7 @@ let r7_marshal tbl sources =
                            via what (encl ()))
                       :: !findings
               end
-          | _ -> ()
+          | None -> ()
         end
     in
     let iter =

@@ -82,16 +82,26 @@ let of_string s =
     raise (Parse_error "weight/feature count mismatch");
   { statistic; classifier = { Linsep.weights; threshold } }
 
+(* Channels are closed on every path, raising ones included, so a
+   long-running process whose saves/loads sometimes fail cannot leak
+   its fd table away. *)
 let save path m =
   let oc = open_out path in
-  output_string oc (to_string m);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string m);
+      (* flush inside the protected region: a full disk surfaces as
+         Sys_error here rather than being swallowed by the close *)
+      flush oc)
 
 let load path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   of_string s
 
 let apply m db = Statistic.induced_labeling m.statistic m.classifier db

@@ -177,11 +177,16 @@ let parse_string s =
     lines;
   { db = !db; labeling = !labeling }
 
+(* The channel is closed on every path — including a read that raises
+   (e.g. the file shrank underneath us) — so a daemon retrying failing
+   parses in a loop cannot exhaust its fd table. *)
 let parse_file path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string s
 
 let training_of_document doc = Labeling.training doc.db doc.labeling

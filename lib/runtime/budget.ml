@@ -41,6 +41,17 @@ module Clock = struct
     (* A fresh source starts its own timeline: without this reset a fake
        clock starting below the real time would be clamped forever. *)
     last := neg_infinity
+
+  (* Delays go through the same seam as time reads: retry backoff and
+     breaker cool-downs must be testable without actually sleeping, and
+     auditable by the determinism lint the same way [now] is. *)
+  let sleeper : (float -> unit) option ref = ref None
+
+  let sleep s =
+    if s > 0.0 then
+      match !sleeper with None -> Unix.sleepf s | Some f -> f s
+
+  let set_sleeper f = sleeper := f
 end
 
 (* --- deterministic fault injection ------------------------------------- *)

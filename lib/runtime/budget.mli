@@ -45,6 +45,17 @@ module Clock : sig
       [set_source None] restores the real clock. Either way the
       monotonicity clamp restarts from the new source's first reading.
       Test-only; not for production call sites. *)
+
+  val sleep : float -> unit
+  (** [sleep s] blocks for [s] seconds ([s <= 0] is a no-op). All
+      runtime delays — retry backoff, breaker cool-downs — go through
+      this seam rather than [Unix.sleepf] directly, so they share the
+      clock's testability story. *)
+
+  val set_sleeper : (float -> unit) option -> unit
+  (** [set_sleeper (Some f)] replaces the real sleep with [f] — the
+      hook that lets backoff schedules be asserted on without waiting
+      them out. [set_sleeper None] restores the real sleep. Test-only. *)
 end
 
 val unlimited : t

@@ -45,7 +45,8 @@ val runner : runner
 (** The in-process default: [runner.run] is {!run}. *)
 
 val retrying :
-  ?attempts:int -> ?factor:float -> ?extend_deadline:bool -> runner -> runner
+  ?attempts:int -> ?factor:float -> ?extend_deadline:bool ->
+  ?backoff:float -> ?jitter_seed:int -> runner -> runner
 (** [retrying inner] wraps a runner with a bounded retry policy for
     resource failures: on [Fuel_exhausted]/[Limit_exceeded] (and on
     [Timeout] when [extend_deadline] is set) the call is re-run under
@@ -53,7 +54,15 @@ val retrying :
     budget, up to [attempts] total attempts (default 2; [factor]
     defaults to 4.0). [Solver_error]s are never retried — a rejected
     input does not become valid under a bigger budget.
-    @raise Invalid_argument when [attempts < 1]. *)
+
+    [backoff] (default 0: no delay) sleeps before each re-run, doubling
+    per attempt: attempt [k+1] waits [backoff * 2^(k-1)] seconds,
+    through {!Budget.Clock.sleep} so tests can intercept it. With
+    [jitter_seed], each delay is scaled by a deterministic draw from
+    [[1/2, 1)] — an xorshift stream derived from the seed alone, the
+    same scheme as the budget's chaos injection — so a herd of workers
+    seeded differently (say, by job id) cannot retry in lockstep.
+    @raise Invalid_argument when [attempts < 1] or [backoff < 0]. *)
 
 val run_result : Budget.t -> (unit -> ('a, failure) result) -> ('a, failure) result
 (** [run_result budget f] is {!run} for an [f] that already returns a

@@ -1,0 +1,79 @@
+(* Per-job-class circuit breaker.
+
+   Classic three-state machine on the {!Budget.Clock}: [Closed] counts
+   consecutive resource failures and trips at the threshold; [Open]
+   rejects everything until the cool-down elapses; then a single probe
+   is let through ([Half_open]) and its outcome decides — success
+   closes the breaker, failure re-opens it for a fresh cool-down.
+
+   Only *resource* failures (timeouts, fuel, limits — the kinds that
+   signal an overloaded or wedged worker pool) count against the
+   breaker. A [Solver_error] is the job's own fault: deterministic bad
+   input trips nothing, and as a half-open probe it proves the
+   machinery healthy, so it closes the breaker like a success. *)
+
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type phase =
+  | Ph_closed
+  | Ph_open of float  (* when it opened, Budget.Clock time *)
+  | Ph_half_open  (* one probe in flight *)
+
+type t = {
+  b_threshold : int;
+  b_cooldown : float;
+  mutable b_failures : int;  (* consecutive, while closed *)
+  mutable b_phase : phase;
+}
+
+let create ?(threshold = 5) ?(cooldown = 30.0) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown <= 0.0 then invalid_arg "Breaker.create: cooldown must be > 0";
+  { b_threshold = threshold; b_cooldown = cooldown; b_failures = 0;
+    b_phase = Ph_closed }
+
+let state t ~now =
+  match t.b_phase with
+  | Ph_closed -> Closed
+  | Ph_half_open -> Half_open
+  | Ph_open since -> if now -. since >= t.b_cooldown then Half_open else Open
+
+let allow t ~now =
+  match t.b_phase with
+  | Ph_closed -> true
+  | Ph_half_open -> false  (* the probe slot is taken *)
+  | Ph_open since ->
+      if now -. since >= t.b_cooldown then begin
+        (* Cool-down over: admit exactly one probe. *)
+        t.b_phase <- Ph_half_open;
+        true
+      end
+      else false
+
+let retry_after t ~now =
+  match t.b_phase with
+  | Ph_open since -> Float.max 0.0 (since +. t.b_cooldown -. now)
+  | Ph_closed | Ph_half_open -> 0.0
+
+let success t =
+  t.b_failures <- 0;
+  t.b_phase <- Ph_closed
+
+let failure t ~now =
+  match t.b_phase with
+  | Ph_half_open ->
+      (* The probe failed: straight back to open, fresh cool-down. *)
+      t.b_failures <- t.b_threshold;
+      t.b_phase <- Ph_open now
+  | Ph_open _ -> ()  (* late result from before the trip; already open *)
+  | Ph_closed ->
+      t.b_failures <- t.b_failures + 1;
+      if t.b_failures >= t.b_threshold then t.b_phase <- Ph_open now

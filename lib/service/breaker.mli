@@ -1,0 +1,42 @@
+(** Per-job-class circuit breaker over the {!Budget.Clock}.
+
+    Closed → (threshold consecutive resource failures) → Open →
+    (cool-down elapses) → Half-open, where exactly one probe runs and
+    its outcome closes or re-opens the breaker. Callers count only
+    resource failures ({!Guard.is_resource_failure}) against it — a
+    [Solver_error] is the job's fault, not the pool's, and counts as a
+    success for breaker purposes. *)
+
+type t
+
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+val state_to_string : state -> string
+
+val create : ?threshold:int -> ?cooldown:float -> unit -> t
+(** [threshold] consecutive failures trip the breaker (default 5);
+    [cooldown] seconds must pass before a probe (default 30).
+    @raise Invalid_argument when [threshold < 1] or [cooldown <= 0]. *)
+
+val state : t -> now:float -> state
+
+val allow : t -> now:float -> bool
+(** May a job of this class be admitted now? Closed: yes. Open: no,
+    until the cool-down elapses — then the first [allow] claims the
+    single half-open probe slot (and subsequent calls say no until the
+    probe's outcome is reported). *)
+
+val retry_after : t -> now:float -> float
+(** Seconds until the cool-down elapses (0 unless open) — surfaced in
+    the [Breaker_open] rejection so clients can back off smartly. *)
+
+val success : t -> unit
+(** Report a completed job (or a deterministic solver error): resets
+    the failure count and closes the breaker. *)
+
+val failure : t -> now:float -> unit
+(** Report a resource failure: increments toward the threshold when
+    closed, re-opens immediately when it was the half-open probe. *)

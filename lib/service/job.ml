@@ -1,0 +1,303 @@
+(* Job specifications: what the service runs, how it travels on the
+   wire and in the journal, and how a worker executes it.
+
+   A spec is plain data (strings, ints, options only), so it is safe to
+   Marshal into journal events and into the forked worker's result
+   protocol, and safe for cqlint's R7 to see at an [Isolate.spawn]
+   site. The language is carried as its CLI string and parsed in the
+   worker — parsing is cheap, and keeping [Language.t] out of the spec
+   keeps the wire format independent of solver internals.
+
+   [execute] runs *inside* an [Isolate] worker: it builds the job's own
+   budget from the spec, wraps the chosen retry policy (exponential
+   backoff with a jitter stream seeded from the job id, so a herd of
+   retrying workers de-correlates deterministically), and reduces every
+   outcome to [(string, Guard.failure) result] — a one-line summary or
+   a structured failure, both marshalable. *)
+
+type kind =
+  | Sep of { lang : string; dim : int option }
+  | Ladder
+  | Generate of { lang : string; ghw_depth : int; dim : int option }
+  | Selftest of { spin : int }
+
+type spec = {
+  kind : kind;
+  db_path : string;
+  timeout : float option;
+  fuel : int option;
+}
+
+let job_class spec =
+  match spec.kind with
+  | Sep _ -> "sep"
+  | Ladder -> "ladder"
+  | Generate _ -> "generate"
+  | Selftest _ -> "selftest"
+
+let describe spec =
+  match spec.kind with
+  | Sep { lang; dim } ->
+      Printf.sprintf "sep lang=%s%s db=%s" lang
+        (match dim with None -> "" | Some d -> Printf.sprintf " dim=%d" d)
+        spec.db_path
+  | Ladder -> Printf.sprintf "ladder db=%s" spec.db_path
+  | Generate { lang; ghw_depth; dim } ->
+      Printf.sprintf "generate lang=%s ghw_depth=%d%s db=%s" lang ghw_depth
+        (match dim with None -> "" | Some d -> Printf.sprintf " dim=%d" d)
+        spec.db_path
+  | Selftest { spin } -> Printf.sprintf "selftest spin=%d" spin
+
+let validate spec =
+  let check_lang lang =
+    match Language.of_string lang with
+    | Ok _ -> Ok ()
+    | Error msg -> Error msg
+  in
+  let check_db k =
+    if spec.db_path = "" then Error "missing database path" else k ()
+  in
+  let check_bounds k =
+    match spec.timeout, spec.fuel with
+    | Some s, _ when s <= 0.0 -> Error "timeout must be > 0"
+    | _, Some f when f < 1 -> Error "fuel must be >= 1"
+    | _ -> k ()
+  in
+  check_bounds (fun () ->
+      match spec.kind with
+      | Selftest { spin } ->
+          if spin < 0 then Error "selftest spin must be >= 0" else Ok ()
+      | Sep { lang; dim } ->
+          check_db (fun () ->
+              match dim with
+              | Some d when d < 1 -> Error "dim must be >= 1"
+              | _ -> check_lang lang)
+      | Ladder -> check_db (fun () -> Ok ())
+      | Generate { lang; ghw_depth; dim } ->
+          check_db (fun () ->
+              if ghw_depth < 1 then Error "ghw_depth must be >= 1"
+              else
+                match dim with
+                | Some d when d < 1 -> Error "dim must be >= 1"
+                | _ -> check_lang lang))
+
+(* {2 Wire codec}
+
+   One spec per line: space-separated [key=value] fields with values
+   percent-encoded (%, space, and control bytes), shared by the daemon
+   protocol, the [cqq] client, and the tests. Field order on encode is
+   fixed; decode accepts any order and rejects unknown keys. *)
+
+let enc_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '%' || c = ' ' || Char.code c < 0x21 then
+        Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dec_value s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> failwith "bad percent escape"
+  in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then
+        if i + 2 < n then begin
+          Buffer.add_char buf (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+          go (i + 3)
+        end
+        else failwith "bad percent escape"
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let spec_to_wire spec =
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  (match spec.kind with
+  | Sep { lang; dim } ->
+      add "kind" "sep";
+      add "lang" lang;
+      Option.iter (fun d -> add "dim" (string_of_int d)) dim
+  | Ladder -> add "kind" "ladder"
+  | Generate { lang; ghw_depth; dim } ->
+      add "kind" "generate";
+      add "lang" lang;
+      add "ghw_depth" (string_of_int ghw_depth);
+      Option.iter (fun d -> add "dim" (string_of_int d)) dim
+  | Selftest { spin } ->
+      add "kind" "selftest";
+      add "spin" (string_of_int spin));
+  if spec.db_path <> "" then add "db" spec.db_path;
+  Option.iter (fun s -> add "timeout" (Printf.sprintf "%g" s)) spec.timeout;
+  Option.iter (fun f -> add "fuel" (string_of_int f)) spec.fuel;
+  String.concat " "
+    (List.rev_map (fun (k, v) -> k ^ "=" ^ enc_value v) !fields)
+
+let spec_of_wire line =
+  let parse () =
+    let fields =
+      List.filter_map
+        (fun tok ->
+          if tok = "" then None
+          else
+            match String.index_opt tok '=' with
+            | None -> failwith ("field without '=': " ^ tok)
+            | Some i ->
+                Some
+                  ( String.sub tok 0 i,
+                    dec_value (String.sub tok (i + 1) (String.length tok - i - 1))
+                  ))
+        (String.split_on_char ' ' line)
+    in
+    let known =
+      [ "kind"; "lang"; "dim"; "ghw_depth"; "spin"; "db"; "timeout"; "fuel" ]
+    in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k known) then failwith ("unknown field: " ^ k))
+      fields;
+    let get k = List.assoc_opt k fields in
+    let int_of k v =
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> failwith (k ^ " must be an integer")
+    in
+    let float_of k v =
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> failwith (k ^ " must be a number")
+    in
+    let lang () =
+      match get "lang" with
+      | Some l -> l
+      | None -> failwith "missing field: lang"
+    in
+    let dim () = Option.map (int_of "dim") (get "dim") in
+    let kind =
+      match get "kind" with
+      | Some "sep" -> Sep { lang = lang (); dim = dim () }
+      | Some "ladder" -> Ladder
+      | Some "generate" ->
+          Generate
+            {
+              lang = lang ();
+              ghw_depth =
+                (match get "ghw_depth" with
+                | Some v -> int_of "ghw_depth" v
+                | None -> 2);
+              dim = dim ();
+            }
+      | Some "selftest" ->
+          Selftest
+            {
+              spin =
+                (match get "spin" with
+                | Some v -> int_of "spin" v
+                | None -> 1000);
+            }
+      | Some other -> failwith ("unknown kind: " ^ other)
+      | None -> failwith "missing field: kind"
+    in
+    {
+      kind;
+      db_path = (match get "db" with Some p -> p | None -> "");
+      timeout = Option.map (float_of "timeout") (get "timeout");
+      fuel = Option.map (int_of "fuel") (get "fuel");
+    }
+  in
+  match parse () with
+  | spec -> begin
+      match validate spec with Ok () -> Ok spec | Error msg -> Error msg
+    end
+  | exception Failure msg -> Error msg
+
+(* {2 Execution (worker side)} *)
+
+let budget_of spec =
+  match spec.timeout, spec.fuel with
+  | None, None -> Budget.unlimited
+  | timeout, fuel -> Budget.make ?timeout ?fuel ()
+
+let runner_of ~retry ~jitter_seed =
+  match retry with
+  | Some (extra, backoff) when extra > 0 ->
+      Guard.retrying ~attempts:(extra + 1) ~backoff ~jitter_seed
+        ~extend_deadline:true Guard.runner
+  | Some _ | None -> Guard.runner
+
+(* Deterministic busy-work that ticks the ambient budget — the job kind
+   the chaos and integration suites lean on, because it needs no input
+   database and its cost is an explicit parameter. *)
+let selftest ~spin =
+  let acc = ref 0 in
+  for i = 1 to spin do
+    Budget.tick ~what:"service selftest" ();
+    acc := ((!acc * 31) + i) land 0xFFFFFF
+  done;
+  Printf.sprintf "selftest ok (%06x)" !acc
+
+let lang_of lang =
+  match Language.of_string lang with
+  | Ok l -> l
+  | Error msg -> Guard.solver_error "job language: %s" msg
+
+let read_training path =
+  match Textfmt.training_of_document (Textfmt.parse_file path) with
+  | t -> t
+  | exception Textfmt.Parse_error msg -> Guard.solver_error "job input: %s" msg
+  | exception Sys_error msg -> Guard.solver_error "job input: %s" msg
+  | exception Invalid_argument msg -> Guard.solver_error "job input: %s" msg
+
+let execute ?retry ?(jitter_seed = 0) spec =
+  let budget = budget_of spec in
+  let runner = runner_of ~retry ~jitter_seed in
+  match spec.kind with
+  | Selftest { spin } -> runner.Guard.run budget (fun () -> selftest ~spin)
+  | Sep { lang; dim } ->
+      runner.Guard.run budget (fun () ->
+          let l = lang_of lang in
+          let t = read_training spec.db_path in
+          Printf.sprintf "%s-separable: %b" (Language.to_string l)
+            (Cqfeat.separable ?dim l t))
+  | Generate { lang; ghw_depth; dim } ->
+      runner.Guard.run budget (fun () ->
+          let l = lang_of lang in
+          let t = read_training spec.db_path in
+          match Cqfeat.generate ~ghw_depth ?dim l t with
+          | Some (stat, cls) ->
+              Printf.sprintf "generated %d features; training errors: %d"
+                (Statistic.dimension stat)
+                (Statistic.errors stat cls t)
+          | None -> "not separable: no statistic generated")
+  | Ladder -> begin
+      (* The ladder takes the runner itself (retries apply per rung)
+         and its own budget; only the input read is guarded here. *)
+      match Guard.run budget (fun () -> read_training spec.db_path) with
+      | Error _ as e -> e
+      | Ok t ->
+          let r = Cq_sep.decide_with_fallback ~budget ~runner t in
+          (match r.Cq_sep.answer with
+          | Some answer ->
+              Ok
+                (Format.asprintf "cq-separable: %b (%a)" answer
+                   Cq_sep.pp_provenance r.Cq_sep.provenance)
+          | None -> begin
+              match r.Cq_sep.provenance with
+              | Cq_sep.Gave_up failure -> Error failure
+              | _ -> Error (Guard.Solver_error "ladder returned no answer")
+            end)
+    end

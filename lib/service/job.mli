@@ -1,0 +1,57 @@
+(** Job specifications: the service's unit of work.
+
+    A spec is plain data — strings, ints, options — so it journals
+    (Marshal inside {!Service} events), crosses the daemon's wire
+    protocol (the [key=value] line codec here), and returns from forked
+    workers without marshal hazards. Languages travel as their CLI
+    strings ({!Language.of_string} syntax) and are parsed in the
+    worker. *)
+
+type kind =
+  | Sep of { lang : string; dim : int option }
+      (** [L]-Sep / [L]-Sep[ℓ] via {!Cqfeat.separable} *)
+  | Ladder
+      (** the CQ-Sep graceful-degradation ladder,
+          {!Cq_sep.decide_with_fallback} *)
+  | Generate of { lang : string; ghw_depth : int; dim : int option }
+      (** feature generation via {!Cqfeat.generate} *)
+  | Selftest of { spin : int }
+      (** deterministic budget-ticking busy work; needs no input
+          database (the chaos suites' workhorse) *)
+
+type spec = {
+  kind : kind;
+  db_path : string;  (** textfmt training database; unused by selftest *)
+  timeout : float option;  (** per-job budget seconds *)
+  fuel : int option;  (** per-job budget ticks *)
+}
+
+val job_class : spec -> string
+(** The circuit-breaker class: ["sep"], ["ladder"], ["generate"] or
+    ["selftest"]. *)
+
+val describe : spec -> string
+
+val validate : spec -> (unit, string) result
+(** Structural validation (parsable language, positive parameters,
+    database path present where required) — performed at admission so
+    invalid jobs are rejected synchronously, never queued. *)
+
+val spec_to_wire : spec -> string
+(** One-line [key=value] encoding (values percent-escaped); inverse of
+    {!spec_of_wire}. *)
+
+val spec_of_wire : string -> (spec, string) result
+(** Parse and {!validate} a wire line. *)
+
+val execute :
+  ?retry:int * float -> ?jitter_seed:int -> spec ->
+  (string, Guard.failure) result
+(** [execute ?retry ?jitter_seed spec] runs the job under its own
+    budget (from [spec.timeout]/[spec.fuel]) and returns a one-line
+    summary or a structured failure. [retry = (extra, backoff)] wraps
+    execution in {!Guard.retrying} with [extra] additional attempts,
+    deadline extension, and exponential [backoff] jittered by
+    [jitter_seed] (derive it from the job id so concurrent workers
+    de-correlate deterministically). Runs inside an {!Isolate} worker
+    in production, but is safe to call in-process (tests do). *)

@@ -1,0 +1,63 @@
+(** Bounded FIFO admission queue with deadline-aware load shedding,
+    and the service's structured reject taxonomy.
+
+    (Named [Jobq] rather than the issue's [Queue]: every library here
+    is unwrapped, and a toplevel [Queue] unit would collide with the
+    stdlib's at link time.)
+
+    Overload is shed at admission — synchronously, with a reason — and
+    lateness is shed at dispatch: {!pop_ready} refuses to hand out an
+    entry whose deadline already passed while it queued. *)
+
+(** Why a submission was refused. Stable wire codes via
+    {!reject_code}: [busy], [deadline], [breaker], [draining],
+    [invalid]. *)
+type reject =
+  | Queue_full of int  (** the bounded queue is at capacity *)
+  | Deadline_unmeetable of { wait : float; slack : float }
+      (** projected queue wait already exceeds the job's slack *)
+  | Breaker_open of { job_class : string; retry_after : float }
+      (** the per-class circuit breaker is open *)
+  | Draining  (** the service is draining (SIGTERM) *)
+  | Invalid of string  (** the job spec failed validation *)
+
+val reject_code : reject -> string
+val reject_to_string : reject -> string
+
+type 'a entry = {
+  e_id : string;
+  e_deadline : float option;  (** absolute {!Budget.Clock} time *)
+  e_enqueued_at : float;
+  e_payload : 'a;
+}
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+
+val admit :
+  'a t -> now:float -> projected_wait:float -> id:string ->
+  deadline:float option -> 'a -> (unit, reject) result
+(** Admission-check and enqueue: rejects a full queue and a deadline
+    closer than [projected_wait]. Breaker and draining rejections are
+    the caller's ({!Service.submit}'s) to make — they need state this
+    queue does not hold. *)
+
+val enqueue :
+  'a t -> id:string -> deadline:float option -> now:float -> 'a -> unit
+(** Unchecked enqueue, for recovery: a job journaled as admitted before
+    a crash is re-queued even past capacity — the bound applies to new
+    work, not to the backlog already promised. *)
+
+type 'a popped =
+  | Empty
+  | Expired of 'a entry
+      (** deadline passed while queued; shed it, do not run it *)
+  | Ready of 'a entry
+
+val pop_ready : 'a t -> now:float -> 'a popped

@@ -1,0 +1,114 @@
+(** The job service: WAL-journaled admission, a supervised {!Isolate}
+    worker pool, per-class circuit breakers, deadline-aware load
+    shedding, and crash-only recovery.
+
+    Durability contract: {!submit} journals and fsyncs the admission
+    before returning the job id, and every completion is journaled
+    before it is observable through {!status} — so across any crash
+    (SIGKILL included) {!start} recovers a state where no acknowledged
+    job is lost, no completed result is re-run or changed, and every
+    admitted-but-incomplete job runs again (at-least-once execution,
+    exactly-once completion recording).
+
+    Single-threaded by design, like the rest of the runtime: the
+    daemon's select loop calls {!step}/{!submit}; nothing here is
+    thread-safe. *)
+
+(** A job's lifecycle state. [Shed] carries the structured reject code
+    ({!Jobq.reject_code}) or ["deadline"] for dispatch-time
+    expiration. *)
+type state =
+  | Queued
+  | Running
+  | Done of string  (** the worker's one-line summary *)
+  | Failed of string  (** rendered {!Guard.failure} *)
+  | Shed of string
+
+val state_to_string : state -> string
+
+type config = {
+  wal_path : string;
+  pool_size : int;  (** concurrent workers *)
+  queue_capacity : int;  (** bounded admission queue *)
+  default_timeout : float option;
+      (** applied to specs that carry no timeout *)
+  breaker_threshold : int;  (** consecutive failures to trip *)
+  breaker_cooldown : float;  (** seconds before a half-open probe *)
+  retries : int;  (** extra in-worker attempts per job *)
+  retry_backoff : float;  (** base backoff seconds (exponential) *)
+  grace : float;  (** seconds past deadline before SIGKILL *)
+}
+
+val default_config : wal_path:string -> config
+
+(** What {!start} reconstructed from the log. *)
+type recovery = {
+  replayed_events : int;
+  recovered_completed : int;  (** terminal results preserved *)
+  requeued : int;  (** incomplete jobs re-admitted *)
+  shed_on_recovery : int;  (** requeue candidates past their deadline *)
+  dropped_bytes : int;  (** torn/undecodable tail truncated away *)
+}
+
+type t
+
+val start : config -> t
+(** Open (or create) the WAL, replay it, repair any torn tail, and
+    rebuild the service state — first boot and post-crash boot are the
+    same code path.
+    @raise Invalid_argument on nonsensical config values.
+    @raise Unix.Unix_error when the WAL cannot be opened. *)
+
+val recovery : t -> recovery
+val config : t -> config
+
+val submit : t -> ?deadline:float -> Job.spec -> (string, Jobq.reject) result
+(** Admit a job. [deadline] is absolute {!Budget.Clock} time. On [Ok
+    id] the admission is already durable. Rejections — invalid spec,
+    draining, open breaker, full queue, unmeetable deadline — are
+    synchronous, structured, and never journaled.
+    @raise Unix.Unix_error when the WAL write fails (the job is not
+    admitted). *)
+
+val step : t -> float option
+(** One event-loop turn: reap finished workers (journaling their
+    outcomes, feeding the breakers), shed queued jobs whose deadline
+    passed, dispatch while the pool has capacity. Returns the earliest
+    absolute time at which a running worker becomes killable — combine
+    with {!wait_fds} to size a [select] timeout. *)
+
+val wait_fds : t -> Unix.file_descr list
+(** The running workers' result pipes; readability means {!step} has
+    work to do. *)
+
+val idle : t -> bool
+(** No queued and no running jobs. *)
+
+val drain : t -> unit
+(** Stop admitting ({!submit} returns [Error Draining]); already
+    admitted jobs still run — drain means "finish the promised work,
+    take nothing new". *)
+
+val drain_finish : t -> unit
+(** {!drain}, then block until every admitted job reaches a terminal
+    state — the SIGTERM path. *)
+
+val close : t -> unit
+(** SIGKILL and reap any still-running workers (their jobs stay
+    incomplete in the journal, so a later {!start} re-runs them) and
+    close the WAL. *)
+
+val status : t -> string -> state option
+val job_ids : t -> string list
+(** All known ids in submission order. *)
+
+type stats = {
+  queued : int;
+  running : int;
+  done_ : int;
+  failed : int;
+  shed : int;
+  draining : bool;
+}
+
+val stats : t -> stats

@@ -1,0 +1,70 @@
+(** Append-only write-ahead log with checksummed records
+    ({!Journal_codec} frames) and crash-only recovery.
+
+    Contract: when {!append} returns, the record is on disk and fsynced
+    — it survives any later crash, SIGKILL included. A crash *during*
+    an append leaves at most one torn frame at the tail; {!replay}
+    recovers the longest valid prefix and reports the damage, {!repair}
+    truncates the torn tail so appending can resume on clean framing.
+    One writer at a time; replay may run on a log nobody has open. *)
+
+type t
+(** An open log, positioned for appending. *)
+
+val open_append : string -> t
+(** Open (creating if absent) the log at a path for appending.
+    @raise Unix.Unix_error when the file cannot be opened. *)
+
+val path : t -> string
+
+val append : t -> string -> unit
+(** [append t payload] frames, writes and fsyncs one record; on return
+    the record is durable.
+    @raise Invalid_argument on a closed log or an oversized payload.
+    @raise Unix.Unix_error when the write or fsync fails. *)
+
+val close : t -> unit
+(** Fsync and close. Idempotent; errors during close are swallowed. *)
+
+(** {2 Replay} *)
+
+type replay = {
+  records : (string * int) list;
+      (** each durable payload with the byte offset just past its
+          frame, in append order *)
+  valid_bytes : int;
+      (** length of the longest valid prefix — the offset at which
+          decoding stopped *)
+  total_bytes : int;  (** file size as read *)
+  damage : Journal_codec.error option;
+      (** [None] when the whole file decoded; [Some Truncated] for the
+          torn-tail signature of a mid-append crash; [Some (Corrupt _)]
+          for bytes that are present but wrong *)
+}
+
+val replay : string -> replay
+(** [replay path] decodes the log front to back. A missing file is an
+    empty, undamaged log (the crash-only idiom: first boot and
+    post-crash boot share one code path). *)
+
+val repair : string -> replay -> bool
+(** [repair path rep] truncates the file to [rep.valid_bytes] when
+    [rep] reports damage, discarding the torn tail; returns whether it
+    truncated. Run it before {!open_append} after a crash. *)
+
+(** {2 Crash-injection seam (tests only)} *)
+
+(** Durability checkpoints inside {!append}: [Frame_start] — nothing of
+    the frame written; [Frame_torn] — the frame half-written (a crash
+    here is the torn tail {!replay} must detect); [Frame_synced] — the
+    frame durable. *)
+type stage =
+  | Frame_start
+  | Frame_torn
+  | Frame_synced
+
+val set_crash_hook : (stage -> unit) option -> unit
+(** Install a hook called at each stage crossing of every {!append} —
+    the chaos suite's seam for SIGKILLing itself at seeded awkward
+    moments. Registered with {!Runtime_state} (reset uninstalls).
+    Production code never installs one. *)
