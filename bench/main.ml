@@ -866,6 +866,109 @@ let bench_service_recovery () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Numeric separation tier vs the exact simplex, on planted/random/
+   near-separable instance regimes. Besides the printed table this
+   experiment persists a flat JSON trajectory (BENCH_linsep.json, or
+   $BENCH_OUT) that CI diffs against the committed baseline with
+   bench_gate: verdict agreement must be total, and speedup and
+   certification rate must not regress by more than 20%. *)
+let bench_linsep_numeric () =
+  Bench_util.header
+    "linsep/numeric_vs_exact — certified float-first separation tier vs \
+     the exact rational simplex (trajectory: BENCH_linsep.json)";
+  let shapes = [ (8, 48); (12, 64); (16, 80) ] in
+  let seeds = [ 0; 1; 2 ] in
+  let instances =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun (dim, n) ->
+            (seed, dim, n, Planted.linsep_instance ~seed ~dim ~n))
+          shapes)
+      seeds
+  in
+  (* Verdict agreement and certification counters, measured once
+     outside the timing loops (time_ns resets the registry, and with
+     it the nsep.stats counters, inside the timed thunk). *)
+  Runtime_state.reset_all ();
+  let agree = ref 0 in
+  List.iter
+    (fun (_seed, _dim, _n, ex) ->
+      let exact = Linsep.is_separable ex in
+      let numeric =
+        match (Nsep.decide ~tier:Nsep.Numeric ex).Nsep.verdict with
+        | Nsep.Sep _ -> true
+        | Nsep.Unsep -> false
+        | Nsep.Unknown _ -> assert false
+      in
+      if exact = numeric then incr agree)
+    instances;
+  let stats = Nsep.stats () in
+  let total = List.length instances in
+  let certified =
+    stats.Nsep.certified_cg + stats.Nsep.certified_simplex
+    + stats.Nsep.certified_precheck
+  in
+  let rate k = float_of_int k /. float_of_int (max 1 stats.Nsep.decided) in
+  let certified_rate = rate certified in
+  let escalation_rate = rate stats.Nsep.escalations in
+  Bench_util.row
+    [ (16, "instance"); (12, "exact"); (12, "numeric"); (10, "speedup") ];
+  Bench_util.rule ();
+  let exact_total = ref 0.0 and numeric_total = ref 0.0 in
+  List.iter
+    (fun (seed, dim, n, ex) ->
+      let name = Printf.sprintf "s%d d%d n%d" seed dim n in
+      let e =
+        Bench_util.time_ns ~name:"exact" (fun () ->
+            ignore (Sys.opaque_identity (Linsep.separable ex)))
+      in
+      let f =
+        Bench_util.time_ns ~name:"numeric" (fun () ->
+            ignore (Sys.opaque_identity (Nsep.decide ~tier:Nsep.Numeric ex)))
+      in
+      exact_total := !exact_total +. e;
+      numeric_total := !numeric_total +. f;
+      Bench_util.row
+        [
+          (16, name);
+          (12, Bench_util.pp_ns e);
+          (12, Bench_util.pp_ns f);
+          (10, Printf.sprintf "%.1fx" (e /. f));
+        ])
+    instances;
+  Bench_util.rule ();
+  let speedup = !exact_total /. Float.max 1.0 !numeric_total in
+  Bench_util.row
+    [
+      (16, "total");
+      (12, Bench_util.pp_ns !exact_total);
+      (12, Bench_util.pp_ns !numeric_total);
+      (10, Printf.sprintf "%.1fx" speedup);
+    ];
+  Printf.printf "  agreement %d/%d, certified_rate %.2f, escalation_rate %.2f\n%!"
+    !agree total certified_rate escalation_rate;
+  let out =
+    match Sys.getenv_opt "BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_linsep.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"instances\": %d,\n\
+    \  \"agree\": %d,\n\
+    \  \"certified_rate\": %.4f,\n\
+    \  \"escalation_rate\": %.4f,\n\
+    \  \"exact_ns_total\": %.0f,\n\
+    \  \"numeric_ns_total\": %.0f,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    total !agree certified_rate escalation_rate !exact_total !numeric_total
+    speedup;
+  close_out oc;
+  Printf.printf "  trajectory written to %s\n%!" out
+
 let experiments =
   [
     ("table1/cq_sep", bench_table1_cq_sep);
@@ -893,6 +996,7 @@ let experiments =
     ("service/wal_throughput", bench_wal_throughput);
     ("service/recovery_latency", bench_service_recovery);
     ("analysis/lint_typed", bench_lint_typed);
+    ("linsep/numeric_vs_exact", bench_linsep_numeric);
   ]
 
 let () =

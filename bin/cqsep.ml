@@ -10,7 +10,10 @@
    (a weaker rung of the fallback ladder answered), 3 budget
    exhausted, 4 input or solver error, 5 internal error (an
    unexpected exception; CQSEP_DEBUG=1 re-raises it with a
-   backtrace). *)
+   backtrace), 6 an uncertified numeric linear-separation verdict was
+   detected under --cert-stats (should be unreachable: the numeric
+   tier escalates to the exact solver instead of answering
+   uncertified; 6 is the tripwire that keeps it honest). *)
 
 let read_training path =
   Textfmt.training_of_document (Textfmt.parse_file path)
@@ -231,6 +234,65 @@ let runner_of ~isolate ~grace ~retry ~retry_factor =
     Guard.retrying ~attempts:(retry + 1) ~factor:retry_factor
       ~extend_deadline:true base
 
+(* --- numeric-tier controls ------------------------------------------- *)
+
+let numeric_arg =
+  Arg.(
+    value & flag
+    & info [ "numeric" ]
+        ~doc:
+          "Decide linear separations with the float-first tier (CG \
+           logistic fit, then float simplex), certifying every answer \
+           in exact arithmetic and escalating to the exact simplex \
+           when certification fails. This is the default; the flag \
+           exists to state it explicitly and to conflict with \
+           --exact-only.")
+
+let exact_only_arg =
+  Arg.(
+    value & flag
+    & info [ "exact-only" ]
+        ~doc:
+          "Skip the float tier entirely: every linear separation runs \
+           on the exact rational simplex. Slower, bit-for-bit the \
+           reference behaviour.")
+
+let cert_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "cert-stats" ]
+        ~doc:
+          "After answering, report linear-separation certification \
+           counters on stderr (certified per solver, escalations, \
+           uncertified). Exits 6 if any verdict was left uncertified \
+           — which the escalation ladder is designed to make \
+           impossible.")
+
+let set_tier ~numeric ~exact_only =
+  if numeric && exact_only then begin
+    Printf.eprintf "cqsep: --numeric and --exact-only are mutually exclusive\n";
+    exit 4
+  end;
+  Nsep.set_tier (if exact_only then Nsep.Exact_only else Nsep.Numeric)
+
+let report_cert_stats () =
+  let s = Nsep.stats () in
+  Printf.eprintf
+    "cqsep: linsep decisions %d: cg-certified %d, simplex-certified %d, \
+     precheck %d, exact %d (escalations %d), uncertified %d\n"
+    s.Nsep.decided s.Nsep.certified_cg s.Nsep.certified_simplex
+    s.Nsep.certified_precheck s.Nsep.exact_solves s.Nsep.escalations
+    s.Nsep.uncertified
+
+(* Exit with [code], first honoring --cert-stats: print the counters
+   and turn any uncertified verdict into the dedicated exit 6. *)
+let finish ~cert_stats code =
+  if cert_stats then begin
+    report_cert_stats ();
+    if (Nsep.stats ()).Nsep.uncertified > 0 then exit 6
+  end;
+  exit code
+
 (* Run [f] through the runner under the optional budget, exiting 3/4
    on failure. Even without a budget the run goes through the runner:
    that is what routes solver-raised Invalid_argument to exit 4 and
@@ -273,9 +335,10 @@ let info_cmd =
 
 let sep_cmd =
   let run path lang dim eps timeout fuel no_degrade isolate grace retry
-      retry_factor verbose =
+      retry_factor numeric exact_only cert_stats verbose =
     with_input @@ fun () ->
     setup_logs verbose;
+    set_tier ~numeric ~exact_only;
     let t = read_training path in
     let budget = budget_of ~timeout ~fuel in
     let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
@@ -299,11 +362,11 @@ let sep_cmd =
           match (result.Cq_sep.answer, result.Cq_sep.provenance) with
           | Some answer, Cq_sep.Exact ->
               Printf.printf "%s-separable: %b\n" describe answer;
-              exit (if answer then 0 else 1)
+              finish ~cert_stats (if answer then 0 else 1)
           | Some answer, provenance ->
               Printf.printf "%s-separable: %b (%s)\n" describe answer
                 (Format.asprintf "%a" Cq_sep.pp_provenance provenance);
-              exit 2
+              finish ~cert_stats 2
           | None, Cq_sep.Gave_up failure -> fail_with failure
           | None, _ -> assert false
         end
@@ -315,7 +378,7 @@ let sep_cmd =
               | Some eps -> Cqfeat.apx_separable ?dim ~eps lang t)
         in
         Printf.printf "%s-separable: %b\n" describe answer;
-        exit (if answer then 0 else 1)
+        finish ~cert_stats (if answer then 0 else 1)
   in
   Cmd.v
     (Cmd.info "sep"
@@ -323,7 +386,8 @@ let sep_cmd =
     Term.(
       const run $ train_arg $ lang_arg $ dim_arg $ eps_arg $ timeout_arg
       $ fuel_arg $ no_degrade_arg $ isolate_arg $ grace_arg $ retry_arg
-      $ retry_factor_arg $ verbose_arg)
+      $ retry_factor_arg $ numeric_arg $ exact_only_arg $ cert_stats_arg
+      $ verbose_arg)
 
 let out_arg =
   Arg.(
@@ -334,8 +398,9 @@ let out_arg =
 
 let generate_cmd =
   let run path lang depth dim timeout fuel isolate grace retry retry_factor
-      out =
+      numeric exact_only out =
     with_input @@ fun () ->
+    set_tier ~numeric ~exact_only;
     let t = read_training path in
     let budget = budget_of ~timeout ~fuel in
     let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
@@ -369,7 +434,7 @@ let generate_cmd =
     Term.(
       const run $ train_arg $ lang_arg $ depth_arg $ dim_arg $ timeout_arg
       $ fuel_arg $ isolate_arg $ grace_arg $ retry_arg $ retry_factor_arg
-      $ out_arg)
+      $ numeric_arg $ exact_only_arg $ out_arg)
 
 let apply_cmd =
   let model_arg =

@@ -144,51 +144,105 @@ let mul a b =
   if a.sign = 0 || b.sign = 0 then zero
   else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
 
-(* Shift magnitude left by one bit (multiply by 2). *)
-let shift_left_bit_mag a =
-  let la = Array.length a in
-  let r = Array.make (la + 1) 0 in
-  let carry = ref 0 in
-  for i = 0 to la - 1 do
-    let v = (a.(i) lsl 1) lor !carry in
-    r.(i) <- v land base_mask;
-    carry := v lsr base_bits
-  done;
-  r.(la) <- !carry;
-  r
-
-(* Number of significant bits in a magnitude. *)
-let bits_mag a =
-  let la = Array.length a in
-  if la = 0 then 0
-  else begin
-    let top = a.(la - 1) in
-    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
-    ((la - 1) * base_bits) + width top 0
-  end
-
-(* Long division on magnitudes via bit-by-bit restoring division:
-   simple and clearly correct; quadratic, which is fine at our scales
-   (classifier weights and simplex pivots stay small). *)
+(* Long division on magnitudes, limb at a time (Knuth TAOCP vol. 2,
+   Algorithm D). A 63-bit native int holds any two-limb intermediate
+   (2^30 * 2^30 plus carries < 2^62), so quotient-digit estimation
+   works directly on int arithmetic. The certification tier leans on
+   rational gcd/div in its hot path, which is why this is limb-wise
+   rather than the simpler bit-by-bit schoolbook version. *)
 let divmod_mag a b =
-  if compare_mag a b < 0 then ([| |], Array.copy a)
-  else begin
-    let nbits = bits_mag a in
-    let q = Array.make (Array.length a) 0 in
-    let r = ref [||] in
-    for i = nbits - 1 downto 0 do
-      let r2 = shift_left_bit_mag !r in
-      let bit = (a.(i / base_bits) lsr (i mod base_bits)) land 1 in
-      if bit = 1 then r2.(0) <- r2.(0) lor 1;
-      let r2 = (normalize 1 r2).mag in
-      if compare_mag r2 b >= 0 then begin
-        r := sub_mag r2 b;
-        r := (normalize 1 !r).mag;
-        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
-      end
-      else r := r2
+  let la = Array.length a and lb = Array.length b in
+  if compare_mag a b < 0 then ([||], Array.copy a)
+  else if lb = 1 then begin
+    (* Single-limb divisor: one pass, remainders stay below a limb. *)
+    let d = b.(0) in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl base_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
     done;
-    (q, !r)
+    (q, if !r = 0 then [||] else [| !r |])
+  end
+  else begin
+    (* Normalize so the divisor's top limb has its high bit set: that
+       bounds the quotient-digit estimate within 2 of the truth. *)
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    let shift = base_bits - width b.(lb - 1) 0 in
+    let shl src len =
+      let out = Array.make (len + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to len - 1 do
+        let v = (src.(i) lsl shift) lor !carry in
+        out.(i) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      out.(len) <- !carry;
+      out
+    in
+    let u = shl a la in
+    let v = shl b lb in
+    let n = lb in
+    let m = la - lb in
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) and vsec = v.(n - 2) in
+    for j = m downto 0 do
+      (* Estimate the quotient digit from the top two limbs, then
+         refine with the third (off by at most one afterwards). *)
+      let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / vtop) in
+      let rhat = ref (num mod vtop) in
+      let refining = ref true in
+      while
+        !refining
+        && (!qhat >= base
+           || !qhat * vsec > (!rhat lsl base_bits) lor u.(j + n - 2))
+      do
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then refining := false
+      done;
+      (* u[j..j+n] -= qhat * v[0..n-1] *)
+      let borrow = ref 0 in
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = u.(j + i) - (p land base_mask) - !borrow in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* Overshot by one: add the divisor back. *)
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !c in
+          u.(j + i) <- s land base_mask;
+          c := s lsr base_bits
+        done;
+        u.(j + n) <- d + !c
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    (* The remainder sits in u[0..n-1], still shifted. *)
+    let r = Array.make n 0 in
+    let low_mask = (1 lsl shift) - 1 in
+    let carry = ref 0 in
+    for i = n - 1 downto 0 do
+      r.(i) <- (u.(i) lor (!carry lsl base_bits)) lsr shift;
+      carry := u.(i) land low_mask
+    done;
+    (q, r)
   end
 
 let divmod a b =
@@ -218,6 +272,22 @@ let pow base_v n =
 let rec gcd a b =
   let a = abs a and b = abs b in
   if is_zero b then a else gcd b (rem a b)
+
+let frexp t =
+  (* (f, e) with t ≈ f · 2^e: f carries the top ~90 bits (rounded once
+     into a double), e accounts for the dropped low limbs. Exact
+     whenever the magnitude fits the limbs taken — in particular for
+     any 53-bit mantissa and any power of two. *)
+  let l = Array.length t.mag in
+  if l = 0 then (0.0, 0)
+  else begin
+    let take = if l < 3 then l else 3 in
+    let f = ref 0.0 in
+    for i = l - 1 downto l - take do
+      f := (!f *. float_of_int base) +. float_of_int t.mag.(i)
+    done;
+    ((if t.sign < 0 then -. !f else !f), (l - take) * base_bits)
+  end
 
 let to_int_opt t =
   (* Accumulate most-significant first; bail out on overflow by checking

@@ -24,6 +24,14 @@ val to_int : t -> int
 (** [to_int_opt t] is [Some n] when the value fits in a native [int]. *)
 val to_int_opt : t -> int option
 
+(** [frexp t] is [(f, e)] with [t ≈ f · 2^e]: [f] holds the top ~90
+    bits of the magnitude (rounded once into the double), [e] the
+    weight of the dropped low limbs. Exact for any value whose
+    magnitude fits the retained limbs — in particular 53-bit mantissas
+    and powers of two, which is what {!Rat.to_float} needs to
+    round-trip {!Rat.of_float}. *)
+val frexp : t -> float * int
+
 (** [of_string s] parses an optionally-signed decimal numeral.
     @raise Invalid_argument on malformed input. *)
 val of_string : string -> t

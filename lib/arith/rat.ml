@@ -56,16 +56,33 @@ let ( > ) a b = compare a b > 0
 let ( >= ) a b = compare a b >= 0
 let ( = ) = equal
 
+let of_float f =
+  match classify_float f with
+  | FP_nan -> invalid_arg "Rat.of_float: nan has no rational value"
+  | FP_infinite -> invalid_arg "Rat.of_float: infinity has no rational value"
+  | FP_zero -> zero (* both 0.0 and -0.0 *)
+  | FP_normal | FP_subnormal ->
+      (* f = m * 2^e with 0.5 <= |m| < 1. The significand has at most
+         53 bits, so m * 2^53 is an integer representable both in the
+         double and (63-bit) native int, and the decomposition
+         f = (m * 2^53) * 2^(e-53) is exact — including subnormals,
+         whose frexp mantissa is simply scaled further down. *)
+      let m, e = Float.frexp f in
+      let m53 = int_of_float (Float.ldexp m 53) in
+      let e = Stdlib.( - ) e 53 in
+      if Stdlib.( >= ) e 0 then
+        of_bigint (Bigint.mul (Bigint.of_int m53) (Bigint.pow Bigint.two e))
+      else make (Bigint.of_int m53) (Bigint.pow Bigint.two (-e))
+
 let to_float t =
-  (* Scale down both parts together when they exceed the float-exact
-     range; precision loss is acceptable since this is reporting-only. *)
-  let rec shrink n d =
-    match (Bigint.to_int_opt n, Bigint.to_int_opt d) with
-    | Some n, Some d -> float_of_int n /. float_of_int d
-    | _ ->
-        shrink (Bigint.div n Bigint.two) (Bigint.div d Bigint.two)
-  in
-  shrink t.n t.d
+  (* Exponent-aware: divide the top bits of each side and reapply the
+     exponent difference, so extreme magnitudes neither overflow nor
+     flush to zero. Round-trips of_float on every finite double (the
+     numerator mantissa and power-of-two denominator convert exactly
+     through Bigint.frexp). *)
+  let fn, en = Bigint.frexp t.n in
+  let fd, ed = Bigint.frexp t.d in
+  Float.ldexp (fn /. fd) (Stdlib.( - ) en ed)
 
 let to_string t =
   if Bigint.equal t.d Bigint.one then Bigint.to_string t.n

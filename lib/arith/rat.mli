@@ -55,6 +55,16 @@ val ( > ) : t -> t -> bool
 val ( >= ) : t -> t -> bool
 val ( = ) : t -> t -> bool
 
+(** [of_float f] is the exact rational value of the IEEE double [f]:
+    every finite double (normal, subnormal, or zero of either sign) is
+    a dyadic rational [m/2^k] and converts without rounding, so
+    [of_float] is injective on finite non-zero doubles and
+    [of_float (-0.0) = zero]. This is the bridge the certification
+    layer uses to re-check numeric solver output in exact arithmetic.
+    @raise Invalid_argument on nan or infinities, which have no
+    rational value. *)
+val of_float : float -> t
+
 (** [to_float t] is a nearest-double approximation (for reporting only). *)
 val to_float : t -> float
 

@@ -99,7 +99,8 @@ let witness_with_sets ~dim ~sets (t : Labeling.training) =
   in
   let exception Found of int list * Linsep.classifier in
   let check chosen =
-    match Linsep.separable (examples_of chosen) with
+    (* Numeric tier with exact certification; escalates internally. *)
+    match Nsep.separable (examples_of chosen) with
     | Some c -> raise (Found (chosen, c))
     | None -> ()
   in

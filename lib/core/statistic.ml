@@ -30,7 +30,10 @@ let examples stat (t : Labeling.training) =
     (fun (e, vec) -> { Linsep.vec; label = Labeling.get e t.labeling })
     (vectors stat t.db)
 
-let separating_classifier stat t = Linsep.separable (examples stat t)
+(* Routed through the numeric tier: float-first with exact
+   certification, escalating to the exact simplex when certification
+   fails. Same contract as Linsep.separable. *)
+let separating_classifier stat t = Nsep.separable (examples stat t)
 let separates stat t = separating_classifier stat t <> None
 
 let induced_labeling stat classifier db =

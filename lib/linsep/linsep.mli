@@ -28,6 +28,14 @@ val separable : example list -> classifier option
 (** [is_separable examples] is [separable examples <> None]. *)
 val is_separable : example list -> bool
 
+(** [group_by_vector examples] groups the collection by identical
+    vectors, in first-seen order: one [(pos, neg, vec)] triple per
+    distinct vector with its positive and negative multiplicities.
+    Deterministic in the input order alone (no Hashtbl iteration
+    order leaks). This is the reduction step shared by the
+    consistency precheck and the numeric tier ({!Nsep}). *)
+val group_by_vector : example list -> (int * int * int array) list
+
 (** [separable_iff_consistent examples] is the cheap necessary
     condition: no two examples with identical vectors and different
     labels. (Not sufficient in general — see Example 6.2-style gaps —

@@ -32,6 +32,52 @@ let flip_labels ~seed ~count (t : Labeling.training) =
   in
   Labeling.training t.db labeling
 
+let linsep_instance ~seed ~dim ~n =
+  let rng = Random.State.make [| seed |] in
+  let pm1 () = if Random.State.bool rng then 1 else -1 in
+  let vec () = Array.init dim (fun _ -> pm1 ()) in
+  (* Three regimes, cycled by seed so any contiguous seed range mixes
+     them: planted separable, uniformly random labels, and planted
+     with adversarial flips. *)
+  match seed mod 3 with
+  | 0 ->
+      (* Planted: labels from a hidden integer hyperplane, so the
+         instance is separable by construction. *)
+      let w = Array.init dim (fun _ -> Random.State.int rng 7 - 3) in
+      let w0 = Random.State.int rng 5 - 2 in
+      List.init n (fun _ ->
+          let v = vec () in
+          let s = ref 0 in
+          for j = 0 to dim - 1 do
+            s := !s + (w.(j) * v.(j))
+          done;
+          {
+            Linsep.vec = v;
+            label = (if !s >= w0 then Labeling.Pos else Labeling.Neg);
+          })
+  | 1 ->
+      (* Uniform labels: almost surely not separable once n is a few
+         multiples of dim. *)
+      List.init n (fun _ ->
+          {
+            Linsep.vec = vec ();
+            label = (if Random.State.bool rng then Labeling.Pos else Labeling.Neg);
+          })
+  | _ ->
+      (* Planted then flipped: near-separable, the regime where the
+         float tier's certification does real work. *)
+      let w = Array.init dim (fun _ -> Random.State.int rng 7 - 3) in
+      let flips = 1 + Random.State.int rng (max 1 (n / 8)) in
+      List.init n (fun i ->
+          let v = vec () in
+          let s = ref 0 in
+          for j = 0 to dim - 1 do
+            s := !s + (w.(j) * v.(j))
+          done;
+          let base = if !s >= 0 then Labeling.Pos else Labeling.Neg in
+          let label = if i < flips then Labeling.flip base else base in
+          { Linsep.vec = v; label })
+
 let accuracy ~truth labeling =
   let entities = Db.entities truth.Labeling.db in
   let agree =

@@ -15,6 +15,14 @@ val label_by_query : Db.t -> Cq.t -> Labeling.training
     entities chosen uniformly (deterministic in [seed]). *)
 val flip_labels : seed:int -> count:int -> Labeling.training -> Labeling.training
 
+(** [linsep_instance ~seed ~dim ~n] is a deterministic random training
+    collection of [n] examples over [{1,-1}^dim], for exercising the
+    linear-separation solvers directly (benchmarks, agreement
+    property tests). Three regimes cycle with [seed mod 3]: planted
+    separable (labels from a hidden integer hyperplane), uniformly
+    random labels, and planted-with-flips. *)
+val linsep_instance : seed:int -> dim:int -> n:int -> Linsep.example list
+
 (** [accuracy ~truth labeling] is the fraction of entities of [truth]
     on which [labeling] agrees (entities missing from [labeling] count
     as errors). *)

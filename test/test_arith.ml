@@ -104,6 +104,40 @@ let prop_divmod_identity =
       && Bigint.compare (Bigint.abs r) (Bigint.abs (bi b)) < 0
       && (Bigint.is_zero r || Bigint.sign r = Bigint.sign (bi a)))
 
+let prop_divmod_multilimb =
+  (* Drive the multi-limb Knuth division path: both operands well past
+     one 30-bit limb, with occasional near-equal magnitudes (quotient
+     digit estimation's worst case). *)
+  QCheck.Test.make ~name:"multi-limb divmod identity" ~count:300
+    (QCheck.quad small_int (QCheck.int_range 2 8) small_int
+       (QCheck.int_range 2 6))
+    (fun (a0, ka, b0, kb) ->
+      QCheck.assume (b0 <> 0);
+      let a =
+        Bigint.add (Bigint.mul (bi a0) (Bigint.pow (bi 1000003) ka)) (bi ka)
+      in
+      let b = Bigint.mul (bi b0) (Bigint.pow (bi 999983) kb) in
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let test_frexp () =
+  let check v =
+    let f, e = Bigint.frexp v in
+    Alcotest.check (Alcotest.float 0.0) "frexp exact"
+      (float_of_string (Bigint.to_string v))
+      (Float.ldexp f e)
+  in
+  check Bigint.zero;
+  check Bigint.one;
+  check (bi (-12345));
+  check (Bigint.pow (bi 2) 100);
+  check (Bigint.neg (Bigint.pow (bi 2) 300));
+  (* a full 53-bit mantissa survives exactly *)
+  check (bi ((1 lsl 53) - 1));
+  check (Bigint.mul (bi ((1 lsl 53) - 1)) (Bigint.pow (bi 2) 200))
+
 let prop_divmod_matches_int =
   QCheck.Test.make ~name:"bigint div/rem = int (/)(mod)" ~count:500
     (QCheck.pair small_int (QCheck.int_range 1 500))
@@ -176,6 +210,56 @@ let test_rat_division_by_zero () =
   | exception Division_by_zero -> ()
   | _ -> Alcotest.fail "div by 0 must raise"
 
+(* --- Rat.of_float: the exact float→rational bridge ------------------- *)
+
+let check_rat msg expect got =
+  Alcotest.check Alcotest.string msg expect (Rat.to_string got)
+
+let test_of_float_exact () =
+  check_rat "half" "1/2" (Rat.of_float 0.5);
+  check_rat "neg dyadic" "-3/8" (Rat.of_float (-0.375));
+  check_rat "integer" "42" (Rat.of_float 42.0);
+  check_rat "large power of two" (Bigint.to_string (Bigint.pow (bi 2) 80))
+    (Rat.of_float 0x1p80);
+  (* 0.1 is not 1/10: it is the nearest double, exactly. *)
+  check_rat "0.1 as stored" "3602879701896397/36028797018963968"
+    (Rat.of_float 0.1)
+
+let test_of_float_edges () =
+  check_rat "positive zero" "0" (Rat.of_float 0.0);
+  check_rat "negative zero" "0" (Rat.of_float (-0.0));
+  (* Smallest positive subnormal: 2^-1074. *)
+  Alcotest.check Alcotest.bool "min subnormal" true
+    (Rat.equal (Rat.of_float 0x1p-1074)
+       (Rat.div Rat.one (Rat.of_bigint (Bigint.pow (bi 2) 1074))));
+  (* Largest finite double: (2^53 - 1) * 2^971. *)
+  Alcotest.check Alcotest.bool "max_float" true
+    (Rat.equal
+       (Rat.of_float Float.max_float)
+       (Rat.of_bigint
+          (Bigint.mul
+             (bi ((1 lsl 53) - 1))
+             (Bigint.pow (bi 2) 971))));
+  List.iter
+    (fun f ->
+      match Rat.of_float f with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "nan/infinity must raise")
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let prop_of_float_roundtrip =
+  (* of_float is exact, and to_float rounds back to the nearest double
+     — which is the one we started from. Spans normals across the full
+     exponent range and subnormals. *)
+  QCheck.Test.make ~name:"to_float (of_float f) = f" ~count:1000
+    (QCheck.triple (QCheck.float_range (-1.0) 1.0)
+       (QCheck.int_range (-1080) 1020)
+       QCheck.bool)
+    (fun (m, e, flip) ->
+      let f = Float.ldexp (if flip then -.m else m) e in
+      QCheck.assume (Float.is_finite f);
+      Float.equal (Rat.to_float (Rat.of_float f)) f)
+
 let test_rat_to_string () =
   Alcotest.check Alcotest.string "int" "3" (Rat.to_string (Rat.of_int 3));
   Alcotest.check Alcotest.string "frac" "-2/3" (Rat.to_string (Rat.of_ints 4 (-6)));
@@ -199,6 +283,8 @@ let () =
           Test_util.qcheck prop_mul_matches_int;
           Test_util.qcheck prop_divmod_identity;
           Test_util.qcheck prop_divmod_matches_int;
+          Test_util.qcheck prop_divmod_multilimb;
+          Alcotest.test_case "frexp" `Quick test_frexp;
           Test_util.qcheck prop_compare_total_order;
           Test_util.qcheck prop_string_roundtrip;
         ] );
@@ -206,6 +292,9 @@ let () =
         [
           Alcotest.test_case "to_string" `Quick test_rat_to_string;
           Alcotest.test_case "division by zero" `Quick test_rat_division_by_zero;
+          Alcotest.test_case "of_float exact values" `Quick test_of_float_exact;
+          Alcotest.test_case "of_float edges" `Quick test_of_float_edges;
+          Test_util.qcheck prop_of_float_roundtrip;
           Test_util.qcheck prop_rat_add_comm;
           Test_util.qcheck prop_rat_mul_distributes;
           Test_util.qcheck prop_rat_inverse;

@@ -13,10 +13,13 @@ let fixture_dir = "typed_fixtures"
 let all_ml =
   [ "tf_cross_helper.ml"; "tf_cross_loop.ml"; "tf_cross_loop_suppressed.ml";
     "tf_cross_tick.ml"; "tf_scc.ml"; "tf_r6_random.ml"; "tf_r6_clock.ml";
-    "tf_r6_suppressed.ml"; "tf_r7_closure.ml"; "tf_r7_ok.ml";
-    "tf_r7_suppressed.ml"; "tf_drift.ml" ]
+    "tf_r6_floatfold.ml"; "tf_r6_suppressed.ml"; "tf_r7_closure.ml";
+    "tf_r7_ok.ml"; "tf_r7_suppressed.ml"; "tf_drift.ml";
+    "tf_numeric_drift.ml" ]
 
-let all_mli = [ "tf_r6_random.mli"; "tf_r6_clock.mli"; "tf_drift.mli" ]
+let all_mli =
+  [ "tf_r6_random.mli"; "tf_r6_clock.mli"; "tf_r6_floatfold.mli";
+    "tf_drift.mli"; "tf_numeric_drift.mli" ]
 
 let units =
   lazy
@@ -184,6 +187,11 @@ let test_r6_clock_exempt () =
   check keys_c "Budget.Clock is the sanctioned time source" []
     (rule_keys (findings_for "tf_r6_clock.ml"))
 
+let test_r6_float_fold () =
+  check keys_c "float accumulation over Hashtbl.fold, from the export"
+    [ ("R6", "det:Hashtbl.fold@total") ]
+    (rule_keys (findings_for "tf_r6_floatfold.ml"))
+
 let test_r6_suppression () =
   check
     Alcotest.(pair keys_c int)
@@ -213,6 +221,16 @@ let test_r8_drift () =
   check keys_c "drifted _b twins flagged, the well-formed pair is not"
     [ ("R8", "drift:decide_b"); ("R8", "drift:rank_b") ]
     (rule_keys (findings_for "tf_drift.mli"))
+
+let test_r8_numeric_drift () =
+  check keys_c "numeric spine: refine_b/scale_b drifted, solve_b clean"
+    [ ("R8", "drift:refine_b"); ("R8", "drift:scale_b") ]
+    (rule_keys (findings_for "tf_numeric_drift.mli"));
+  let survivors, n = after_suppression "tf_numeric_drift.mli" in
+  check keys_c "the reasoned directive eats only scale_b"
+    [ ("R8", "drift:refine_b") ]
+    survivors;
+  check Alcotest.int "one suppression" 1 n
 
 let test_r8_suppression () =
   let survivors, n = after_suppression "tf_drift.mli" in
@@ -250,6 +268,7 @@ let () =
           Alcotest.test_case "random reachable" `Quick
             test_r6_random_reachable;
           Alcotest.test_case "clock exempt" `Quick test_r6_clock_exempt;
+          Alcotest.test_case "float fold" `Quick test_r6_float_fold;
           Alcotest.test_case "suppression" `Quick test_r6_suppression;
         ] );
       ( "r7",
@@ -262,6 +281,7 @@ let () =
       ( "r8",
         [
           Alcotest.test_case "drift" `Quick test_r8_drift;
+          Alcotest.test_case "numeric drift" `Quick test_r8_numeric_drift;
           Alcotest.test_case "suppression" `Quick test_r8_suppression;
         ] );
     ]

@@ -102,6 +102,58 @@ let show_lp = function
   | Simplex.Infeasible -> "infeasible"
   | Simplex.Unbounded _ -> "unbounded"
 
+(* Fixed instances for the numeric separation tier: one planted
+   (separable) and one with random labels (inseparable at this size),
+   both deterministic in the seed. *)
+let linsep_sat = lazy (Planted.linsep_instance ~seed:0 ~dim:6 ~n:24)
+let linsep_mixed = lazy (Planted.linsep_instance ~seed:1 ~dim:4 ~n:20)
+
+let show_nsep a =
+  match a.Nsep.verdict with
+  | Nsep.Sep _ -> "sep"
+  | Nsep.Unsep -> "unsep"
+  | Nsep.Unknown r -> "unknown:" ^ r
+
+let linsep_lp examples =
+  let n = Array.length (List.hd examples).Linsep.vec in
+  let rows =
+    List.map
+      (fun e ->
+        let coeffs =
+          Array.init (n + 1) (fun i ->
+              if i < n then float_of_int e.Linsep.vec.(i) else -1.0)
+        in
+        match e.Linsep.label with
+        | Labeling.Pos -> { Fsimplex.coeffs; op = Simplex.Ge; rhs = 0.0 }
+        | Labeling.Neg -> { Fsimplex.coeffs; op = Simplex.Le; rhs = -1.0 })
+      examples
+  in
+  (n + 1, rows)
+
+let show_fsimplex = function
+  | Fsimplex.Feasible _ -> "feasible"
+  | Fsimplex.Infeasible _ -> "infeasible"
+
+let cg_input examples =
+  let xs =
+    Array.of_list
+      (List.map (fun e -> Array.map float_of_int e.Linsep.vec) examples)
+  in
+  let ys =
+    Array.of_list
+      (List.map
+         (fun e ->
+           match e.Linsep.label with
+           | Labeling.Pos -> 1.0
+           | Labeling.Neg -> -1.0)
+         examples)
+  in
+  (xs, ys)
+
+(* All reductions in Cg are fixed-order, so iteration count and
+   convergence flag are bit-deterministic and render canonically. *)
+let show_cg f = Printf.sprintf "%d:%b" f.Cg.iters f.Cg.converged
+
 (* --- the chaos cases -------------------------------------------------- *)
 
 (* Each case renders its answer to a canonical string so the reference
@@ -207,6 +259,57 @@ let cases =
           let rows, objective = box_lp 4 in
           Result.map show_lp
             (Simplex.solve_b ~budget:b ~nvars:4 ~rows ~objective ()));
+    };
+    {
+      c_name = "nsep.decide(sat)";
+      reference = (fun () -> show_nsep (Nsep.decide (Lazy.force linsep_sat)));
+      budgeted =
+        (fun b ->
+          Result.map show_nsep (Nsep.decide_b ~budget:b (Lazy.force linsep_sat)));
+    };
+    {
+      c_name = "nsep.decide(mixed)";
+      reference = (fun () -> show_nsep (Nsep.decide (Lazy.force linsep_mixed)));
+      budgeted =
+        (fun b ->
+          Result.map show_nsep
+            (Nsep.decide_b ~budget:b (Lazy.force linsep_mixed)));
+    };
+    {
+      c_name = "fsimplex.feasible";
+      reference =
+        (fun () ->
+          let nvars, rows = linsep_lp (Lazy.force linsep_sat) in
+          show_fsimplex (Fsimplex.feasible ~nvars ~rows ()));
+      budgeted =
+        (fun b ->
+          let nvars, rows = linsep_lp (Lazy.force linsep_sat) in
+          Result.map show_fsimplex
+            (Fsimplex.feasible_b ~budget:b ~nvars ~rows ()));
+    };
+    {
+      c_name = "cg.fit";
+      reference =
+        (fun () ->
+          let xs, ys = cg_input (Lazy.force linsep_sat) in
+          show_cg (Cg.fit ~xs ~ys ()));
+      budgeted =
+        (fun b ->
+          let xs, ys = cg_input (Lazy.force linsep_sat) in
+          Result.map show_cg (Cg.fit_b ~budget:b ~xs ~ys ()));
+    };
+    {
+      c_name = "certify.hyperplane";
+      reference =
+        (fun () ->
+          Certify.verdict_label
+            (Certify.hyperplane ~weights:[| 1.0; 1.0; 1.0; 1.0 |]
+               (Lazy.force linsep_mixed)));
+      budgeted =
+        (fun b ->
+          Result.map Certify.verdict_label
+            (Certify.hyperplane_b ~budget:b ~weights:[| 1.0; 1.0; 1.0; 1.0 |]
+               (Lazy.force linsep_mixed)));
     };
   ]
 
@@ -417,7 +520,10 @@ let test_runtime_state_registry () =
   List.iter
     (fun n ->
       check bool_c (n ^ " registered") true (List.mem n names))
-    [ "cq_sep.chain_cache"; "cq_decomp.ghw_cache"; "struct_iso.intern" ];
+    [
+      "cq_sep.chain_cache"; "cq_decomp.ghw_cache"; "struct_iso.intern";
+      "nsep.tier"; "nsep.stats";
+    ];
   check bool_c "validate_all clean at rest" true
     (Runtime_state.validate_all () = [])
 

@@ -1,0 +1,272 @@
+(* Tests for the numeric separation tier: float solvers (Cg,
+   Fsimplex), the exact Certify layer, and the Nsep ladder.
+
+   The headline property is agreement: over a large seeded family of
+   planted / random / noisy instances, the float-first pipeline must
+   return the same SEP/UNSEP verdict as the exact solver on every
+   single instance — the certification spine makes this an invariant,
+   not a statistic. *)
+
+open Test_util
+
+let ex v l = { Linsep.vec = Array.of_list v; label = l }
+let pos = Labeling.Pos
+let neg = Labeling.Neg
+
+let and_data =
+  [ ex [ 1; 1 ] pos; ex [ 1; -1 ] neg; ex [ -1; 1 ] neg; ex [ -1; -1 ] neg ]
+
+let xor_data =
+  [ ex [ 1; 1 ] pos; ex [ -1; -1 ] pos; ex [ 1; -1 ] neg; ex [ -1; 1 ] neg ]
+
+(* --- Cg -------------------------------------------------------------- *)
+
+let test_cg_fits_and () =
+  let xs = [| [| 1.; 1. |]; [| 1.; -1. |]; [| -1.; 1. |]; [| -1.; -1. |] |] in
+  let ys = [| 1.; -1.; -1.; -1. |] in
+  (* Real regularization keeps the separable-instance optimum finite;
+     with near-zero l2 the weights diverge and convergence is moot. *)
+  let config = { Cg.default_config with l2 = 1e-2 } in
+  let f = Cg.fit ~config ~xs ~ys () in
+  (* The fitted hyperplane must put the positive row above every
+     negative row. *)
+  let margin x =
+    f.Cg.bias +. (f.Cg.weights.(0) *. x.(0)) +. (f.Cg.weights.(1) *. x.(1))
+  in
+  Array.iteri
+    (fun i x ->
+      check bool_c "sign matches label" true (margin x *. ys.(i) > 0.))
+    xs
+
+let test_cg_l1_support () =
+  (* Labels equal coordinate 0; coordinates 1 and 2 are exactly
+     uncorrelated with the labels, so the smoothed-l1 path should
+     shrink them out of the support. *)
+  let xs =
+    [|
+      [| 1.; 1.; 1. |]; [| 1.; 1.; -1. |]; [| -1.; -1.; -1. |];
+      [| -1.; 1.; 1. |]; [| 1.; -1.; 1. |]; [| -1.; 1.; 1. |];
+    |]
+  in
+  let ys = [| 1.; 1.; -1.; -1.; 1.; -1. |] in
+  let config = { Cg.default_config with l1 = 0.1; max_iters = 300 } in
+  let f = Cg.fit ~config ~xs ~ys () in
+  check (Alcotest.list int_c) "support is the planted coordinate" [ 0 ]
+    (Cg.support ~threshold:0.05 f)
+
+let test_cg_validation () =
+  let bad () = ignore (Cg.fit ~xs:[| [| 1. |] |] ~ys:[| 0.5 |] ()) in
+  (match bad () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "labels outside {±1} must raise");
+  match Cg.fit ~xs:[| [| 1. |]; [| 1.; -1. |] |] ~ys:[| 1.; -1. |] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged rows must raise"
+
+(* --- Fsimplex -------------------------------------------------------- *)
+
+let sep_rows examples =
+  (* The separation LP encoding over (w, w0): positive rows
+     (vec,-1)·x ≥ 0, negative rows ≤ -1. *)
+  let n = Array.length (List.hd examples).Linsep.vec in
+  let rows =
+    List.map
+      (fun e ->
+        let coeffs =
+          Array.init (n + 1) (fun i ->
+              if i < n then float_of_int e.Linsep.vec.(i) else -1.0)
+        in
+        match e.Linsep.label with
+        | Labeling.Pos -> { Fsimplex.coeffs; op = Simplex.Ge; rhs = 0.0 }
+        | Labeling.Neg -> { Fsimplex.coeffs; op = Simplex.Le; rhs = -1.0 })
+      examples
+  in
+  (n + 1, rows)
+
+let test_fsimplex_feasible () =
+  let nvars, rows = sep_rows and_data in
+  match Fsimplex.feasible ~nvars ~rows () with
+  | Fsimplex.Feasible (x, q) ->
+      check int_c "point length" nvars (Array.length x);
+      check bool_c "well conditioned" true (Fsimplex.well_conditioned q)
+  | Fsimplex.Infeasible _ -> Alcotest.fail "AND system is feasible"
+
+let test_fsimplex_infeasible () =
+  let nvars, rows = sep_rows xor_data in
+  match Fsimplex.feasible ~nvars ~rows () with
+  | Fsimplex.Infeasible (mu, _) ->
+      check int_c "one multiplier per row" (List.length rows)
+        (Array.length mu)
+  | Fsimplex.Feasible _ -> Alcotest.fail "XOR system is infeasible"
+
+let test_fsimplex_validation () =
+  (match Fsimplex.feasible ~nvars:2 ~rows:[ { Fsimplex.coeffs = [| 1.0 |]; op = Simplex.Ge; rhs = 0.0 } ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "row length mismatch must raise");
+  match Fsimplex.feasible ~nvars:1 ~rows:[ { Fsimplex.coeffs = [| Float.nan |]; op = Simplex.Ge; rhs = 0.0 } ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-finite coefficient must raise"
+
+(* --- Certify --------------------------------------------------------- *)
+
+let test_certify_hyperplane () =
+  (* AND is separated by w = (1,1) with the right threshold; Certify
+     must find that threshold itself. *)
+  (match Certify.hyperplane ~weights:[| 1.0; 1.0 |] and_data with
+  | Certify.Certified c ->
+      List.iter
+        (fun e ->
+          check bool_c "classifies" true
+            (Linsep.classify c e.Linsep.vec = e.Linsep.label))
+        and_data
+  | v -> Alcotest.fail ("AND direction must certify, got " ^ Certify.verdict_label v));
+  (* A direction that is right only up to round-off must still
+     certify: the exact threshold re-derivation absorbs the error. *)
+  (match Certify.hyperplane ~weights:[| 1.0 +. 1e-13; 1.0 -. 1e-13 |] and_data with
+  | Certify.Certified _ -> ()
+  | v -> Alcotest.fail ("perturbed direction must certify, got " ^ Certify.verdict_label v));
+  (* No direction separates XOR. *)
+  (match Certify.hyperplane ~weights:[| 1.0; 1.0 |] xor_data with
+  | Certify.Refuted _ -> ()
+  | v -> Alcotest.fail ("XOR must refute, got " ^ Certify.verdict_label v));
+  match Certify.hyperplane ~weights:[| Float.nan; 0.0 |] and_data with
+  | Certify.Inconclusive _ -> ()
+  | v -> Alcotest.fail ("nan weights must be inconclusive, got " ^ Certify.verdict_label v)
+
+let test_certify_farkas () =
+  (* Drive the real pipeline: float simplex on XOR, then the exact
+     Farkas reconstruction from its multiplier candidate. *)
+  let nvars, rows = sep_rows xor_data in
+  (match Fsimplex.feasible ~nvars ~rows () with
+  | Fsimplex.Infeasible (mu, _) -> (
+      match Certify.farkas ~mu xor_data with
+      | Certify.Certified () -> ()
+      | v ->
+          Alcotest.fail
+            ("XOR farkas must certify, got " ^ Certify.verdict_label v))
+  | Fsimplex.Feasible _ -> Alcotest.fail "XOR system is infeasible");
+  (* A zero/degenerate multiplier vector cannot prove anything. *)
+  match Certify.farkas ~mu:(Array.make 4 0.0) xor_data with
+  | Certify.Inconclusive _ -> ()
+  | v -> Alcotest.fail ("zero mu must be inconclusive, got " ^ Certify.verdict_label v)
+
+(* --- Nsep ------------------------------------------------------------ *)
+
+let test_decide_basics () =
+  (match Nsep.decide and_data with
+  | { Nsep.verdict = Nsep.Sep c; _ } ->
+      List.iter
+        (fun e ->
+          check bool_c "classifies" true
+            (Linsep.classify c e.Linsep.vec = e.Linsep.label))
+        and_data
+  | _ -> Alcotest.fail "AND must separate");
+  (match Nsep.decide xor_data with
+  | { Nsep.verdict = Nsep.Unsep; _ } -> ()
+  | _ -> Alcotest.fail "XOR must not separate");
+  (* Precheck shapes. *)
+  (match Nsep.decide [] with
+  | { Nsep.verdict = Nsep.Sep _; provenance = Nsep.Certified_precheck } -> ()
+  | _ -> Alcotest.fail "empty collection is trivially separable");
+  (match Nsep.decide [ ex [ 1 ] pos; ex [ 1 ] neg ] with
+  | { Nsep.verdict = Nsep.Unsep; provenance = Nsep.Certified_precheck } -> ()
+  | _ -> Alcotest.fail "inconsistent collection precheck");
+  match Nsep.decide [ ex [ 1 ] neg; ex [ -1 ] neg ] with
+  | { Nsep.verdict = Nsep.Sep _; provenance = Nsep.Certified_precheck } -> ()
+  | _ -> Alcotest.fail "one-sided collection precheck"
+
+let test_decide_tiers () =
+  (match Nsep.decide ~tier:Nsep.Exact_only and_data with
+  | { Nsep.verdict = Nsep.Sep _; provenance = Nsep.Exact_solve _ } -> ()
+  | _ -> Alcotest.fail "exact-only must route to the exact solver");
+  (* escalate:false can say Unknown but never a wrong verdict; on this
+     easy instance the numeric tier should just certify. *)
+  match Nsep.decide ~tier:Nsep.Numeric ~escalate:false and_data with
+  | { Nsep.verdict = Nsep.Sep _; _ } -> ()
+  | { Nsep.verdict = Nsep.Unknown _; _ } -> ()
+  | _ -> Alcotest.fail "numeric tier gave a wrong verdict"
+
+let test_decide_stats () =
+  Runtime_state.reset_all ();
+  ignore (Nsep.decide and_data);
+  ignore (Nsep.decide xor_data);
+  ignore (Nsep.decide ~tier:Nsep.Exact_only and_data);
+  let s = Nsep.stats () in
+  check int_c "decided" 3 s.Nsep.decided;
+  check int_c "sum matches" s.Nsep.decided
+    (s.Nsep.certified_cg + s.Nsep.certified_simplex
+    + s.Nsep.certified_precheck + s.Nsep.exact_solves + s.Nsep.uncertified);
+  check bool_c "escalations bounded" true
+    (s.Nsep.escalations <= s.Nsep.exact_solves);
+  Runtime_state.reset_all ();
+  check int_c "reset" 0 (Nsep.stats ()).Nsep.decided
+
+let test_decide_with_fallback () =
+  (match Nsep.decide_with_fallback and_data with
+  | Ok { Nsep.verdict = Nsep.Sep _; _ } -> ()
+  | Ok _ -> Alcotest.fail "ladder returned a wrong verdict"
+  | Error _ -> Alcotest.fail "ladder must not fail unbudgeted");
+  (* A starved deadline surfaces as a guard failure, not a crash. *)
+  match
+    Nsep.decide_with_fallback
+      ~budget:(Budget.make ~fuel:5 ())
+      (Planted.linsep_instance ~seed:0 ~dim:8 ~n:40)
+  with
+  | Error f -> check bool_c "resource failure" true (Guard.is_resource_failure f)
+  | Ok _ -> Alcotest.fail "5 ticks cannot decide a 40-row instance"
+
+(* The agreement property: the certified numeric pipeline and the
+   exact solver return the identical SEP/UNSEP bit on every instance
+   of the seeded family (planted, random, and noisy regimes all
+   exercised via seed mod 3). *)
+let prop_numeric_agrees_with_exact =
+  QCheck.Test.make ~name:"nsep numeric = exact on 1000 seeded instances"
+    ~count:1000
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let dim = 2 + (seed mod 5) in
+      let n = 4 + (seed mod 23) in
+      let examples = Planted.linsep_instance ~seed ~dim ~n in
+      let exact = Linsep.is_separable examples in
+      let numeric =
+        match (Nsep.decide ~tier:Nsep.Numeric examples).Nsep.verdict with
+        | Nsep.Sep c ->
+            (* A Sep must come with a witness that actually separates. *)
+            List.for_all
+              (fun e -> Linsep.classify c e.Linsep.vec = e.Linsep.label)
+              examples
+            || QCheck.Test.fail_report "Sep witness misclassifies"
+        | Nsep.Unsep -> false
+        | Nsep.Unknown r -> QCheck.Test.fail_report ("Unknown escaped: " ^ r)
+      in
+      numeric = exact)
+
+let () =
+  Alcotest.run "nsep"
+    [
+      ( "cg",
+        [
+          Alcotest.test_case "fits AND" `Quick test_cg_fits_and;
+          Alcotest.test_case "l1 support recovery" `Quick test_cg_l1_support;
+          Alcotest.test_case "input validation" `Quick test_cg_validation;
+        ] );
+      ( "fsimplex",
+        [
+          Alcotest.test_case "feasible point" `Quick test_fsimplex_feasible;
+          Alcotest.test_case "farkas candidate" `Quick test_fsimplex_infeasible;
+          Alcotest.test_case "input validation" `Quick test_fsimplex_validation;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "hyperplane" `Quick test_certify_hyperplane;
+          Alcotest.test_case "farkas" `Quick test_certify_farkas;
+        ] );
+      ( "nsep",
+        [
+          Alcotest.test_case "decide basics" `Quick test_decide_basics;
+          Alcotest.test_case "tiers" `Quick test_decide_tiers;
+          Alcotest.test_case "stats counters" `Quick test_decide_stats;
+          Alcotest.test_case "fallback ladder" `Quick test_decide_with_fallback;
+          qcheck prop_numeric_agrees_with_exact;
+        ] );
+    ]

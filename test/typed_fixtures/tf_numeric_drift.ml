@@ -1,0 +1,25 @@
+(* Implementations for the numeric-solver R8 drift fixtures; the
+   interesting part is the .mli. *)
+
+let solve xs = List.fold_left ( + ) 0 xs
+
+let solve_b ?budget xs =
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> solve xs)
+
+let refine xs = List.length xs
+
+let refine_b ?budget ?tol xs =
+  ignore tol;
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> refine xs)
+
+let scale xs = List.length xs
+
+let scale_b ?budget ?factor xs =
+  ignore factor;
+  Guard.run
+    (match budget with Some b -> b | None -> Budget.installed ())
+    (fun () -> scale xs)

@@ -1,0 +1,20 @@
+(* R8 fixtures in the numeric-solver idiom: a budgeted spine where the
+   `_b` twin must differ from its base only by [?budget] and the
+   result wrapper — extra knobs belong on both signatures or neither. *)
+
+(* The well-formed pair: no finding. *)
+val solve : int list -> int
+val solve_b : ?budget:Budget.t -> int list -> (int, Guard.failure) result
+
+(* Drifted: the budgeted twin grew a [?tol] the base never had. *)
+val refine : int list -> int
+
+val refine_b :
+  ?budget:Budget.t -> ?tol:float -> int list -> (int, Guard.failure) result
+
+(* Drifted the same way, but suppressed with a reason. *)
+val scale : int list -> int
+
+(* cqlint: allow R8 — fixture: tolerance knob migration tracked elsewhere *)
+val scale_b :
+  ?budget:Budget.t -> ?factor:float -> int list -> (int, Guard.failure) result

@@ -1,0 +1,11 @@
+(* R6 positive: float accumulation over an unordered Hashtbl.fold.
+   Hash-bucket iteration order is unspecified, and float addition does
+   not associate, so the exported total depends on insertion history —
+   the exact shape of nondeterminism the fixed-order-reduction rule in
+   the numeric tier exists to prevent. *)
+
+let tbl : (int, float) Hashtbl.t = Hashtbl.create 8
+
+let record k v = Hashtbl.replace tbl k v
+
+let total () = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0

@@ -1,0 +1,2 @@
+val record : int -> float -> unit
+val total : unit -> float
