@@ -14,6 +14,59 @@ let random_graph_training ~seed ~nodes ~edges =
   Families.alternating_labels db
 
 (* ------------------------------------------------------------------ *)
+(* Gate trajectories. Experiments [record ~file key value] the        *)
+(* metrics CI gates on; after the selected experiments have run, one  *)
+(* flat {"key": value, ...} JSON object is written per file for       *)
+(* bench_gate to diff against the committed baseline. When $BENCH_OUT *)
+(* is set and exactly one file collected metrics — the               *)
+(* BENCH_ONLY=<group> pattern the CI jobs use — the object goes to   *)
+(* $BENCH_OUT instead of the default name.                            *)
+(* ------------------------------------------------------------------ *)
+
+let trajectories : (string, (string * float) list ref) Hashtbl.t =
+  Hashtbl.create 4
+
+let record ~file key v =
+  let bucket =
+    match Hashtbl.find_opt trajectories file with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add trajectories file b;
+        b
+  in
+  bucket := (key, v) :: !bucket
+
+let write_trajectories () =
+  let files =
+    List.sort compare
+      (Hashtbl.fold (fun f b acc -> (f, List.rev !b) :: acc) trajectories [])
+  in
+  let files =
+    match (files, Sys.getenv_opt "BENCH_OUT") with
+    | [ (_, metrics) ], Some out -> [ (out, metrics) ]
+    | _ -> files
+  in
+  List.iter
+    (fun (out, metrics) ->
+      let oc = open_out out in
+      output_string oc "{\n";
+      let last = List.length metrics - 1 in
+      List.iteri
+        (fun i (k, v) ->
+          let num =
+            if Float.is_integer v && Float.abs v < 1e15 then
+              Printf.sprintf "%.0f" v
+            else Printf.sprintf "%.4f" v
+          in
+          Printf.fprintf oc "  %S: %s%s\n" k num (if i = last then "" else ","))
+        metrics;
+      output_string oc "}\n";
+      close_out oc;
+      Printf.printf "trajectory written to %s\n%!" out)
+    files
+
+(* ------------------------------------------------------------------ *)
 (* Table 1, row "L-Sep": CQ coNP-flavored test, CQ[m] PTIME,
    GHW(k) PTIME.                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -617,6 +670,11 @@ let bench_guard_overhead () =
   (* Non-infinite fuel and a far deadline force the ticks onto their
      slow path (counting down + periodic clock reads). *)
   let budget = Budget.make ~timeout:3600.0 ~fuel:1_000_000_000 () in
+  (* Gate metric: the worst guarded/bare ratio across the sweep. A
+     ratio (not a percentage) stays meaningful under 20%-regression
+     gating — 1.05 -> 1.26 is a real slowdown, while 1% -> 1.3%
+     overhead is noise. *)
+  let worst = ref 1.0 in
   List.iter
     (fun nodes ->
       let t = random_graph_training ~seed:42 ~nodes ~edges:(2 * nodes) in
@@ -640,6 +698,7 @@ let bench_guard_overhead () =
         guarded := best "guarded" run_guarded !guarded
       done;
       let bare = !bare and guarded = !guarded in
+      worst := Float.max !worst (guarded /. bare);
       Bench_util.row
         [
           (14, string_of_int nodes);
@@ -647,7 +706,8 @@ let bench_guard_overhead () =
           (12, Bench_util.pp_ns guarded);
           (12, Printf.sprintf "%+.1f%%" ((guarded -. bare) /. bare *. 100.));
         ])
-    [ 4; 6; 8; 10; 12 ]
+    [ 4; 6; 8; 10; 12 ];
+  record ~file:"BENCH_runtime.json" "guard_overhead_ratio" !worst
 
 let bench_isolate_overhead () =
   Bench_util.header
@@ -680,6 +740,14 @@ let bench_isolate_overhead () =
       in
       let a = Bench_util.time_ns ~quota:0.5 ~name:"in-process" in_process in
       let b = Bench_util.time_ns ~quota:0.5 ~name:"isolated" isolated in
+      (* Gate on the solver-workload ratios only: the trivial case is
+         pure fork+marshal latency, far too machine-dependent to diff
+         against a committed baseline. *)
+      (match name with
+      | "cq_sep n=6" -> record ~file:"BENCH_runtime.json" "isolate_ratio_cq6" (b /. a)
+      | "cq_sep n=10" ->
+          record ~file:"BENCH_runtime.json" "isolate_ratio_cq10" (b /. a)
+      | _ -> ());
       Bench_util.row
         [
           (14, name);
@@ -795,6 +863,13 @@ let bench_wal_throughput () =
               failwith "bench: short replay")
       in
       Sys.remove path;
+      (* Per-record costs at the small-payload point, where framing and
+         fsync (not payload copying) dominate. *)
+      if size = 64 then begin
+        record ~file:"BENCH_service.json" "wal_append_ns" append_ns;
+        record ~file:"BENCH_service.json" "wal_replay_ns_per_record"
+          (replay_ns /. 256.0)
+      end;
       Bench_util.row
         [
           (10, Printf.sprintf "%d B" size);
@@ -856,6 +931,9 @@ let bench_service_recovery () =
             Service.close svc)
       in
       Sys.remove wal;
+      if njobs = 512 then
+        record ~file:"BENCH_service.json" "recovery_ns_per_job"
+          (ns /. float_of_int njobs);
       Bench_util.row
         [
           (10, string_of_int njobs);
@@ -948,26 +1026,14 @@ let bench_linsep_numeric () =
     ];
   Printf.printf "  agreement %d/%d, certified_rate %.2f, escalation_rate %.2f\n%!"
     !agree total certified_rate escalation_rate;
-  let out =
-    match Sys.getenv_opt "BENCH_OUT" with
-    | Some p -> p
-    | None -> "BENCH_linsep.json"
-  in
-  let oc = open_out out in
-  Printf.fprintf oc
-    "{\n\
-    \  \"instances\": %d,\n\
-    \  \"agree\": %d,\n\
-    \  \"certified_rate\": %.4f,\n\
-    \  \"escalation_rate\": %.4f,\n\
-    \  \"exact_ns_total\": %.0f,\n\
-    \  \"numeric_ns_total\": %.0f,\n\
-    \  \"speedup\": %.2f\n\
-     }\n"
-    total !agree certified_rate escalation_rate !exact_total !numeric_total
-    speedup;
-  close_out oc;
-  Printf.printf "  trajectory written to %s\n%!" out
+  let put = record ~file:"BENCH_linsep.json" in
+  put "instances" (float_of_int total);
+  put "agree" (float_of_int !agree);
+  put "certified_rate" certified_rate;
+  put "escalation_rate" escalation_rate;
+  put "exact_ns_total" !exact_total;
+  put "numeric_ns_total" !numeric_total;
+  put "speedup" speedup
 
 let experiments =
   [
@@ -1019,4 +1085,5 @@ let () =
           experiments
   in
   List.iter (fun (_, bench) -> bench ()) selected;
+  write_trajectories ();
   print_endline "\nAll experiments completed."

@@ -6,8 +6,8 @@
 
 let usage =
   "cqlint [--root DIR] [--rules R1,R2,...] [--baseline FILE] \
-   [--strict-baseline] [--no-typed] [--dump-callgraph] [--json] \
-   [--sarif FILE] [--write-baseline] [--quiet]"
+   [--strict-baseline] [--no-typed] [--dump-callgraph] [--par-report] \
+   [--json] [--sarif FILE] [--write-baseline] [--quiet]"
 
 let () =
   let root = ref "." in
@@ -16,6 +16,7 @@ let () =
   let strict_baseline = ref false in
   let typed = ref true in
   let dump_callgraph = ref false in
+  let par_report = ref false in
   let json = ref false in
   let sarif = ref None in
   let write_baseline = ref false in
@@ -39,7 +40,7 @@ let () =
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ( "--rules",
         Arg.String set_rules,
-        "R1,R2,... enable only these rules (default: all of R1-R8)" );
+        "R1,R2,... enable only these rules (default: all of R1-R11)" );
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE grandfather the findings listed (with reasons) in FILE" );
@@ -55,6 +56,9 @@ let () =
       ( "--dump-callgraph",
         Arg.Set dump_callgraph,
         " print the whole-library call graph and exit" );
+      ( "--par-report",
+        Arg.Set par_report,
+        " print the shard-safety report (docs/SHARD_SAFETY.md) and exit" );
       ("--json", Arg.Set json, " emit findings as a JSON array");
       ( "--sarif",
         Arg.String (fun f -> sarif := Some f),
@@ -95,6 +99,15 @@ let () =
         print_string (Buffer.contents buf);
         exit 0
   end;
+  if !par_report then begin
+    match Lint_driver.par_report config with
+    | Error msg ->
+        Printf.eprintf "cqlint: internal error: %s\n" msg;
+        exit 2
+    | Ok text ->
+        print_string text;
+        exit 0
+  end;
   match Lint_driver.run config with
   | Error msg ->
       Printf.eprintf "cqlint: internal error: %s\n" msg;
@@ -107,6 +120,14 @@ let () =
             (if !strict_baseline then "error" else "warning")
             e)
         report.stale_baseline;
+      List.iter
+        (fun e ->
+          Printf.eprintf
+            "cqlint: %s: baseline entry references a missing file (delete \
+             the entry): %s\n"
+            (if !strict_baseline then "error" else "warning")
+            e)
+        report.missing_file_baseline;
       List.iter
         (fun f ->
           Printf.eprintf
@@ -142,5 +163,8 @@ let () =
           report.files_checked report.typed_modules
           (List.length report.findings)
           report.suppressed report.baselined;
-      let stale_fails = !strict_baseline && report.stale_baseline <> [] in
+      let stale_fails =
+        !strict_baseline
+        && (report.stale_baseline <> [] || report.missing_file_baseline <> [])
+      in
       exit (if report.findings = [] && not stale_fails then 0 else 1)

@@ -46,7 +46,10 @@ type t = {
   g_succs : int list array;  (* mention edges, deduplicated, sorted *)
   g_mentions : (int * string * int * int) list;
   g_by_global : (string, int) Hashtbl.t;
+  g_by_local : (string, int) Hashtbl.t;  (* stamped ident keys → def node *)
+  g_at : (string * int * int, int) Hashtbl.t;  (* (mod, line, col) → node *)
   g_scc_of : int array;
+  g_scc_count : int;
   g_scc_cyclic : bool array;
 }
 
@@ -388,12 +391,21 @@ let build impls =
   Array.iteri
     (fun v ws -> if List.mem v ws then g_scc_cyclic.(scc_of.(v)) <- true)
     g_succs;
+  let g_at = Hashtbl.create (max n 16) in
+  Array.iter
+    (fun node ->
+      if node.kind <> External then
+        Hashtbl.replace g_at (node.modname, node.line, node.col) node.id)
+    g_nodes;
   {
     g_nodes;
     g_succs;
     g_mentions = b.b_mentions;
     g_by_global = b.b_global;
+    g_by_local = b.b_local;
+    g_at;
     g_scc_of = scc_of;
+    g_scc_count = nscc;
     g_scc_cyclic;
   }
 
@@ -406,6 +418,23 @@ let succs g id = g.g_succs.(id)
 let mentions g = g.g_mentions
 let find_global g name = Hashtbl.find_opt g.g_by_global name
 let cyclic g id = size g > 0 && g.g_scc_cyclic.(g.g_scc_of.(id))
+let scc_of g id = g.g_scc_of.(id)
+let scc_count g = g.g_scc_count
+
+(* The same two-step resolution [record_mention] uses during
+   construction: stamped local idents first (shadowing-correct), then
+   dotted globals. Externals resolve to [None] — callers classify them
+   by name instead. *)
+let resolve g (p : Path.t) =
+  match local_key p with
+  | Some k when Hashtbl.mem g.g_by_local k -> Hashtbl.find_opt g.g_by_local k
+  | _ -> begin
+      match global_name p with
+      | Some n -> Hashtbl.find_opt g.g_by_global n
+      | None -> None
+    end
+
+let node_at g ~modname ~line ~col = Hashtbl.find_opt g.g_at (modname, line, col)
 
 (* Bounded-depth BFS closure over an adjacency function. The cap
    bounds analysis work on adversarial graphs; at the default cap (64)

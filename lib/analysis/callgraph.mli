@@ -53,6 +53,28 @@ val cyclic : t -> int -> bool
 (** The node sits in a nontrivial SCC (mutual recursion) or carries a
     self-edge (direct recursion). *)
 
+val scc_of : t -> int -> int
+(** The node's Tarjan SCC id. Ids are emitted in reverse topological
+    order of the condensation: every mention edge leaving an SCC lands
+    in an SCC with a {e smaller} id, so processing SCCs in ascending id
+    order visits callees before callers — the substrate of
+    {!Effects}'s single-pass bottom-up fixpoint. *)
+
+val scc_count : t -> int
+(** Number of SCCs (valid SCC ids are [0 .. scc_count - 1]). *)
+
+val resolve : t -> Path.t -> int option
+(** Resolve a typechecker path to the definition node it was credited
+    to during construction: stamped local idents first (so shadowing
+    resolves the way the typechecker saw it), then dotted global names.
+    [None] for externals and unresolvable paths. *)
+
+val node_at : t -> modname:string -> line:int -> col:int -> int option
+(** Recover a definition or loop node from its source anchor — the
+    binding pattern's (or the loop expression's) start position. Lets a
+    second Typedtree walk re-attribute work to the graph's nodes
+    without rebuilding it. *)
+
 val reachable_from : ?depth:int -> t -> int list -> int -> bool
 (** Forward closure from a root set, as a membership predicate. BFS
     with a depth cap (default 64) and memoized visited set — cycle

@@ -17,6 +17,7 @@ type report = {
   suppressed : int;
   baselined : int;
   stale_baseline : string list;
+  missing_file_baseline : string list;
   typed_modules : int;
   degraded : string list;
 }
@@ -284,16 +285,62 @@ let load_typed ~root dirs =
             (sources @ srcs, degraded @ Lint_cmt.degraded_sources units))
     ([], []) dirs
 
-let build_graph sources =
-  Callgraph.build
-    (List.map
-       (fun (s : Typed_rules.source) -> (s.Typed_rules.s_mod, s.s_impl))
-       sources)
+let impls_of sources =
+  List.map
+    (fun (s : Typed_rules.source) -> (s.Typed_rules.s_mod, s.s_impl))
+    sources
+
+let build_graph sources = Callgraph.build (impls_of sources)
 
 let callgraph config =
   let* dirs = scan_dirs config.root in
   let sources, _ = load_typed ~root:config.root dirs in
   Ok (build_graph sources)
+
+(* --- the shard-safety report and R11 ----------------------------------- *)
+
+let shard_report_file = "docs/SHARD_SAFETY.md"
+
+let par_report config =
+  let* dirs = scan_dirs config.root in
+  let sources, _ = load_typed ~root:config.root dirs in
+  match sources with
+  | [] ->
+      Error
+        "no typed input: run `dune build` first so .cmt files exist under \
+         _build"
+  | srcs ->
+      let g = build_graph srcs in
+      let eff = Effects.analyze g (impls_of srcs) in
+      Ok (Shard_report.generate g eff srcs)
+
+(* R11 lives here rather than in [Typed_rules]: drift is a property of
+   the lint root (the committed file), not of the typed trees. The
+   finding attaches to the report file itself, which is never scanned,
+   so the caller appends it to the stream directly — suppression
+   directives cannot apply, the baseline still can. *)
+let r11_drift config g eff srcs =
+  let want = Shard_report.generate g eff srcs in
+  let mk msg =
+    [
+      Lint_finding.v ~rule:Lint_finding.R11 ~file:shard_report_file ~line:1
+        ~col:0 ~key:"drift:par-report" msg;
+    ]
+  in
+  match read_file (Filename.concat config.root shard_report_file) with
+  | Error _ ->
+      mk
+        "the shard-safety report is missing: generate it with `dune exec \
+         bin/lint.exe -- --root . --par-report > docs/SHARD_SAFETY.md` and \
+         commit it"
+  | Ok have ->
+      if have = want then []
+      else
+        mk
+          "the shard-safety report is stale: an entry point's inferred \
+           effect signature changed; regenerate with `dune exec bin/lint.exe \
+           -- --root . --par-report > docs/SHARD_SAFETY.md` and review which \
+           entry points gained or lost shard-safety before committing"
 
 (* --- the tree run ----------------------------------------------------- *)
 
@@ -309,13 +356,20 @@ let run config =
   let typed_sources, degraded =
     if config.typed then load_typed ~root:config.root dirs else ([], [])
   in
-  let typed_findings =
+  (* One graph + one effect pass feed the typed rules, R11's drift
+     check, and (via [par_report]) the report itself. *)
+  let typed_findings, r11_findings =
     match typed_sources with
-    | [] -> []
+    | [] -> ([], [])
     | srcs ->
-        List.filter
-          (fun (f : Lint_finding.t) -> List.mem f.rule config.rules)
-          (Typed_rules.run (build_graph srcs) srcs)
+        let g = build_graph srcs in
+        let eff = Effects.analyze g (impls_of srcs) in
+        ( List.filter
+            (fun (f : Lint_finding.t) -> List.mem f.rule config.rules)
+            (Typed_rules.run ~effects:eff g srcs),
+          if List.mem Lint_finding.R11 config.rules then
+            r11_drift config g eff srcs
+          else [] )
   in
   let typed_by_file = Hashtbl.create 32 in
   List.iter
@@ -387,31 +441,39 @@ let run config =
       0 per_dir
   in
   let all =
-    List.concat_map
-      (fun (structural, per_file) ->
-        structural @ List.concat_map (fun (_, _, fs) -> fs) per_file)
-      per_dir
+    r11_findings
+    @ List.concat_map
+        (fun (structural, per_file) ->
+          structural @ List.concat_map (fun (_, _, fs) -> fs) per_file)
+        per_dir
   in
   (* Suppression filtering already happened per file; now apply the
      baseline. *)
   let kept, grandfathered =
     List.partition (fun f -> not (matches_baseline baseline f)) all
   in
-  let stale =
-    List.filter_map
+  let unmatched =
+    List.filter
       (fun e ->
-        if
-          List.exists
-            (fun (f : Lint_finding.t) ->
-              e.b_rule = f.rule && e.b_file = f.file && e.b_key = f.key)
-            all
-        then None
-        else
-          Some
-            (Printf.sprintf "%s %s %s"
-               (Lint_finding.rule_to_string e.b_rule)
-               e.b_file e.b_key))
+        not
+          (List.exists
+             (fun (f : Lint_finding.t) ->
+               e.b_rule = f.rule && e.b_file = f.file && e.b_key = f.key)
+             all))
       baseline
+  in
+  (* An unmatched entry whose file is gone is a distinct defect from a
+     fixed finding in a live file: the entry can only be deleted. *)
+  let missing_file, stale =
+    List.partition
+      (fun e ->
+        not (Sys.file_exists (Filename.concat config.root e.b_file)))
+      unmatched
+  in
+  let render e =
+    Printf.sprintf "%s %s %s"
+      (Lint_finding.rule_to_string e.b_rule)
+      e.b_file e.b_key
   in
   Ok
     {
@@ -419,7 +481,8 @@ let run config =
       files_checked;
       suppressed;
       baselined = List.length grandfathered;
-      stale_baseline = stale;
+      stale_baseline = List.map render stale;
+      missing_file_baseline = List.map render missing_file;
       typed_modules = List.length typed_sources;
       degraded;
     }

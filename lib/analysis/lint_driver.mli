@@ -40,7 +40,10 @@ type report = {
   suppressed : int;  (** silenced by reasoned allow-directives *)
   baselined : int;  (** grandfathered by the baseline file *)
   stale_baseline : string list;
-      (** baseline entries that matched no finding *)
+      (** baseline entries that matched no finding (file still exists) *)
+  missing_file_baseline : string list;
+      (** baseline entries whose file no longer exists — deletable,
+          never fixable *)
   typed_modules : int;  (** modules the typed pass loaded cmts for *)
   degraded : string list;
       (** library sources with no readable annotation — Parsetree
@@ -64,6 +67,11 @@ val run : config -> (report, string) result
 val callgraph : config -> (Callgraph.t, string) result
 (** Build (only) the whole-library call graph, for
     [--dump-callgraph]. *)
+
+val par_report : config -> (string, string) result
+(** Generate the shard-safety report ({!Shard_report.generate}) for the
+    tree under [root] — the exact bytes R11 expects to find committed
+    at [docs/SHARD_SAFETY.md]. [Error] when no cmts are loadable. *)
 
 type baseline_entry = {
   b_rule : Lint_finding.rule;

@@ -1,6 +1,6 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11 ]
 
 let rule_to_string = function
   | R0 -> "R0"
@@ -12,6 +12,9 @@ let rule_to_string = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
+  | R10 -> "R10"
+  | R11 -> "R11"
 
 let rule_of_string = function
   | "R0" | "r0" -> Some R0
@@ -23,6 +26,9 @@ let rule_of_string = function
   | "R6" | "r6" -> Some R6
   | "R7" | "r7" -> Some R7
   | "R8" | "r8" -> Some R8
+  | "R9" | "r9" -> Some R9
+  | "R10" | "r10" -> Some R10
+  | "R11" | "r11" -> Some R11
   | _ -> None
 
 let rule_doc = function
@@ -51,6 +57,16 @@ let rule_doc = function
   | R8 ->
       "_b drift (typed): budgeted _b entry points must match their \
        unbudgeted twin modulo ?budget and the Guard.failure result wrapper"
+  | R9 ->
+      "effect signatures (typed): exported solver entry points must not \
+       write unregistered global state; pure / registered-cache-only \
+       signatures are certified shard-safe"
+  | R10 ->
+      "fork-time aliasing (typed): locally-created mutable state must not \
+       escape across an Isolate.run/spawn or runner boundary"
+  | R11 ->
+      "shard-safety drift: the committed docs/SHARD_SAFETY.md report must \
+       match what --par-report regenerates from the current tree"
 
 type t = {
   rule : rule;

@@ -20,11 +20,19 @@ type rule =
             closure- and custom-block-free *)
   | R8  (** [_b] drift (typed): budgeted twins agree modulo [?budget] and
             the result wrapper *)
+  | R9  (** effect signatures (typed): exported entry points must not write
+            unregistered globals; pure/registered-cache signatures are
+            certified shard-safe *)
+  | R10  (** fork-time aliasing (typed): local mutable state must not escape
+             across an [Isolate]/runner boundary *)
+  | R11  (** shard-safety drift: committed [docs/SHARD_SAFETY.md] matches
+             [--par-report] regeneration *)
 
 val all_rules : rule list
-(** [R1; ...; R8] — the toggleable rules ([R0] is always enabled).
-    [R6]-[R8] (and the interprocedural upgrade of [R1]) only fire when
-    the typed pass has [.cmt] input. *)
+(** [R1; ...; R11] — the toggleable rules ([R0] is always enabled).
+    [R6]-[R10] (and the interprocedural upgrade of [R1]) only fire when
+    the typed pass has [.cmt] input; [R11] additionally needs a lint
+    root with a [docs/] directory. *)
 
 val rule_to_string : rule -> string
 val rule_of_string : string -> rule option

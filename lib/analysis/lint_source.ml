@@ -119,7 +119,7 @@ let parse_directive text =
               in
               Some
                 (Error
-                   (Printf.sprintf "unknown rule %S (expected R1..R8)" bad))
+                   (Printf.sprintf "unknown rule %S (expected R1..R11)" bad))
             else if List.exists (fun r -> r = Some Lint_finding.R0) rules then
               Some (Error "R0 (directive hygiene) cannot be suppressed")
             else

@@ -586,9 +586,106 @@ let r8_drift sources =
               vals)
     sources
 
+(* --- R9: effect signatures on exported entry points -------------------- *)
+
+(* [exported_roots], but keeping the provenance: which module exports
+   which name, and which graph node it resolved to. The shard-safety
+   report and R9 both consume this. *)
+let entry_points g sources =
+  List.concat_map
+    (fun s ->
+      if not s.s_solver then []
+      else
+        match s.s_intf with
+        | Some sg ->
+            List.filter_map
+              (fun (item : Typedtree.signature_item) ->
+                match item.Typedtree.sig_desc with
+                | Typedtree.Tsig_value vd ->
+                    let name = vd.Typedtree.val_name.Location.txt in
+                    Option.map
+                      (fun id -> (s, name, id))
+                      (Callgraph.find_global g (s.s_mod ^ "." ^ name))
+                | _ -> None)
+              sg.Typedtree.sig_items
+        | None ->
+            List.filter_map
+              (fun (n : Callgraph.node) ->
+                if n.modname = s.s_mod && n.toplevel && n.kind = Callgraph.Def
+                then Some (s, n.short, n.id)
+                else None)
+              (Callgraph.nodes g))
+    sources
+
+let r9_effects g eff sources =
+  let fresh = keyed () in
+  List.filter_map
+    (fun (s, name, id) ->
+      let es = Effects.signature eff id in
+      match Effects.unregistered_writes eff es with
+      | [] -> None
+      | bad ->
+          let n = Callgraph.node g id in
+          Some
+            (Lint_finding.v ~rule:Lint_finding.R9 ~file:s.s_file ~line:n.line
+               ~col:n.col
+               ~key:(fresh s.s_file ("effect:" ^ name))
+               (Printf.sprintf
+                  "exported entry point `%s` writes unregistered global \
+                   state (%s) — inferred effect %s: a concurrent shard \
+                   would observe or clobber the mutation; register the \
+                   cache with Runtime_state (with a validator) or localize \
+                   the state"
+                  name
+                  (String.concat ", "
+                     (List.map
+                        (fun (site : Effects.site) ->
+                          Printf.sprintf "`%s` (%s)" site.Effects.site_name
+                            site.Effects.site_what)
+                        bad))
+                  (Effects.describe eff es))))
+    (entry_points g sources)
+
+(* --- R10: local mutable state escaping a fork boundary ----------------- *)
+
+(* Runs on every loaded module, not just solver dirs: the runtime and
+   service layers are exactly where Isolate boundaries live. *)
+let r10_escape sources =
+  List.concat_map
+    (fun s ->
+      let fresh = keyed () in
+      List.filter_map
+        (fun (e : Escape.escape) ->
+          match e.Escape.esc_kind with
+          | Escape.Stored_global _ -> None
+          | Escape.Fork_boundary head ->
+              Some
+                (Lint_finding.v ~rule:Lint_finding.R10 ~file:s.s_file
+                   ~line:e.Escape.esc_line ~col:e.Escape.esc_col
+                   ~key:
+                     (fresh s.s_file
+                        (Printf.sprintf "escape:%s@%s" e.Escape.esc_name
+                           e.Escape.esc_encl))
+                   (Printf.sprintf
+                      "local mutable `%s` (%s) escapes across `%s` (line \
+                       %d): after the fork the worker mutates a copy and \
+                       the writes are lost at the merge — move the \
+                       allocation inside the thunk or return the data \
+                       through the result channel"
+                      e.Escape.esc_name e.Escape.esc_what head
+                      e.Escape.esc_bline)))
+        (Escape.analyze s.s_impl))
+    sources
+
 (* --- entry point ------------------------------------------------------- *)
 
-let run g sources =
+let run ?effects g sources =
+  let eff =
+    match effects with
+    | Some e -> e
+    | None ->
+        Effects.analyze g (List.map (fun s -> (s.s_mod, s.s_impl)) sources)
+  in
   let tbl = type_table sources in
   r1_tick g sources @ r6_determinism g sources @ r7_marshal tbl sources
-  @ r8_drift sources
+  @ r8_drift sources @ r9_effects g eff sources @ r10_escape sources

@@ -78,7 +78,8 @@ let dedupe_columns cols =
       end)
     cols
 
-let witness_with_sets ~dim ~sets (t : Labeling.training) =
+let witness_with_sets ?(seed_numeric = false) ~dim ~sets
+    (t : Labeling.training) =
   let entities = Db.entities t.db in
   let labels =
     Array.of_list (List.map (fun e -> Labeling.get e t.labeling) entities)
@@ -104,6 +105,30 @@ let witness_with_sets ~dim ~sets (t : Labeling.training) =
     | Some c -> raise (Found (chosen, c))
     | None -> ()
   in
+  (* l1-seeded candidate: fit one sparsified numeric separator over
+     ALL candidate columns and try its support first. A pure
+     search-order heuristic — [check] raises on success and the
+     exhaustive sweep below runs unchanged otherwise, so the verdict
+     is identical with or without it. *)
+  let seed () =
+    if seed_numeric && ncols > 0 && n > 0 then begin
+      Budget.tick ~what:"dim: numeric support seeding" ();
+      let xs =
+        Array.init n (fun i ->
+            Array.init ncols (fun c ->
+                if (snd cols.(c)).(i) then 1.0 else -1.0))
+      in
+      let ys =
+        Array.init n (fun i -> float_of_int (Labeling.label_sign labels.(i)))
+      in
+      let config = { Cg.default_config with Cg.l1 = 0.1 } in
+      let sup = Cg.support (Cg.fit ~config ~xs ~ys ()) in
+      let cap = min dim ncols in
+      match List.filteri (fun i _ -> i < cap) sup with
+      | [] -> ()
+      | chosen -> check chosen
+    end
+  in
   (* Sizes 0..dim: combinations of column indices. *)
   let rec combos size start acc =
     Budget.tick ~what:"dim: feature combination search" ();
@@ -114,6 +139,7 @@ let witness_with_sets ~dim ~sets (t : Labeling.training) =
       done
   in
   match
+    seed ();
     for size = 0 to min dim ncols do
       combos size 0 []
     done
@@ -122,7 +148,8 @@ let witness_with_sets ~dim ~sets (t : Labeling.training) =
   | exception Found (chosen, c) ->
       Some (List.map (fun i -> fst cols.(i)) chosen, c)
 
-let separable_with_sets ~dim ~sets t = witness_with_sets ~dim ~sets t <> None
+let separable_with_sets ?seed_numeric ~dim ~sets t =
+  witness_with_sets ?seed_numeric ~dim ~sets t <> None
 
 (* Minimum training error over statistics of at most [dim] of the
    candidate sets: exhaustive over the (deduplicated) combinations,
@@ -294,11 +321,13 @@ let separable_b ?budget ~dim lang t =
 let realizable_sets_b ?budget lang t =
   Guard.run (default_budget budget) (fun () -> realizable_sets lang t)
 
-let separable_with_sets_b ?budget ~dim ~sets t =
-  Guard.run (default_budget budget) (fun () -> separable_with_sets ~dim ~sets t)
+let separable_with_sets_b ?budget ?seed_numeric ~dim ~sets t =
+  Guard.run (default_budget budget) (fun () ->
+      separable_with_sets ?seed_numeric ~dim ~sets t)
 
-let witness_with_sets_b ?budget ~dim ~sets t =
-  Guard.run (default_budget budget) (fun () -> witness_with_sets ~dim ~sets t)
+let witness_with_sets_b ?budget ?seed_numeric ~dim ~sets t =
+  Guard.run (default_budget budget) (fun () ->
+      witness_with_sets ?seed_numeric ~dim ~sets t)
 
 let min_errors_with_sets_b ?budget ~dim ~sets ?cap t =
   Guard.run (default_budget budget) (fun () ->

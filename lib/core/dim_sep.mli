@@ -28,11 +28,20 @@ val realizable_sets : Language.t -> Labeling.training -> Elem.Set.t list
     the candidate indicator [sets] make [t]'s labeling linearly
     separable (combinatorial search + LP). *)
 val separable_with_sets :
+  ?seed_numeric:bool ->
   dim:int -> sets:Elem.Set.t list -> Labeling.training -> bool
 
 (** [witness_with_sets ~dim ~sets t] additionally returns a choice of
-    sets and a classifier. *)
+    sets and a classifier.
+
+    [seed_numeric] (default [false]) first fits one l1-sparsified
+    numeric separator ({!Cg.fit}) over all candidate columns and tries
+    its {!Cg.support} as the opening combination — a search-order
+    heuristic only: on a miss the exhaustive sweep runs unchanged, so
+    the verdict is identical either way (the witness found first may
+    differ). *)
 val witness_with_sets :
+  ?seed_numeric:bool ->
   dim:int -> sets:Elem.Set.t list -> Labeling.training ->
   (Elem.Set.t list * Linsep.classifier) option
 
@@ -98,11 +107,13 @@ val realizable_sets_b :
   (Elem.Set.t list, Guard.failure) result
 
 val separable_with_sets_b :
-  ?budget:Budget.t -> dim:int -> sets:Elem.Set.t list -> Labeling.training ->
+  ?budget:Budget.t -> ?seed_numeric:bool ->
+  dim:int -> sets:Elem.Set.t list -> Labeling.training ->
   (bool, Guard.failure) result
 
 val witness_with_sets_b :
-  ?budget:Budget.t -> dim:int -> sets:Elem.Set.t list -> Labeling.training ->
+  ?budget:Budget.t -> ?seed_numeric:bool ->
+  dim:int -> sets:Elem.Set.t list -> Labeling.training ->
   ((Elem.Set.t list * Linsep.classifier) option, Guard.failure) result
 
 val min_errors_with_sets_b :

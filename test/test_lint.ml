@@ -118,6 +118,40 @@ let test_lib_clean () =
         check Alcotest.(list string) "no findings in lib/" []
           (List.map Lint_finding.to_text report.Lint_driver.findings)
 
+(* A baseline entry whose file was deleted is a different defect from a
+   fixed finding in a live file: it must land in
+   [missing_file_baseline] (deletable), never in [stale_baseline]
+   (fixable). Regression for the old behavior that lumped both under
+   "stale". *)
+let test_missing_file_baseline () =
+  let root = "../../.." in
+  if Sys.file_exists (Filename.concat root "lib") then begin
+    let tmp = Filename.temp_file "cqlint_baseline" ".txt" in
+    let oc = open_out tmp in
+    output_string oc
+      "R1 lib/core/deleted_file.ml while@gone \xe2\x80\x94 file was removed\n\
+       R1 lib/core/dim_sep.ml rec:never_existed \xe2\x80\x94 fixed finding\n";
+    close_out oc;
+    let config =
+      { (Lint_driver.default_config ~root) with baseline = Some tmp }
+    in
+    let result = Lint_driver.run config in
+    Sys.remove tmp;
+    match result with
+    | Error msg -> Alcotest.failf "driver error: %s" msg
+    | Ok report ->
+        check
+          Alcotest.(list string)
+          "deleted-file entry is reported as missing-file"
+          [ "R1 lib/core/deleted_file.ml while@gone" ]
+          report.Lint_driver.missing_file_baseline;
+        check
+          Alcotest.(list string)
+          "live-file entry stays plain stale"
+          [ "R1 lib/core/dim_sep.ml rec:never_existed" ]
+          report.Lint_driver.stale_baseline
+  end
+
 let () =
   Alcotest.run "lint"
     [
@@ -146,6 +180,8 @@ let () =
       ( "driver",
         [
           Alcotest.test_case "baseline reasons" `Quick test_baseline_reasons;
+          Alcotest.test_case "missing-file baseline entries" `Quick
+            test_missing_file_baseline;
           Alcotest.test_case "lib/ is clean" `Quick test_lib_clean;
         ] );
     ]

@@ -221,6 +221,44 @@ let test_example62_dimension () =
   Alcotest.(check (option int)) "min dimension CQ[1]" (Some 2)
     (Cqfeat.min_dimension (cqm 1) t)
 
+(* The l1 support seeding ([?seed_numeric]) is a search-order
+   heuristic: on 50 planted instances (random path databases, random
+   labels, random candidate indicator sets) the seeded and unseeded
+   searches must return the same verdict. *)
+let test_seed_numeric_agreement () =
+  let rng = Random.State.make [| 20190705 |] in
+  let mismatches = ref 0 in
+  for _ = 1 to 50 do
+    let n = 4 + Random.State.int rng 4 in
+    let db = Families.path n in
+    let entities = Db.entities db in
+    let labeling =
+      Labeling.of_list
+        (List.map
+           (fun e ->
+             (e, if Random.State.bool rng then Labeling.Pos else Labeling.Neg))
+           entities)
+    in
+    let t = Labeling.training db labeling in
+    let sets =
+      List.filter
+        (fun s -> not (Elem.Set.is_empty s))
+        (List.init
+           (3 + Random.State.int rng 4)
+           (fun _ ->
+             Elem.Set.of_list
+               (List.filter (fun _ -> Random.State.bool rng) entities)))
+    in
+    let dim = 1 + Random.State.int rng 2 in
+    let unseeded = Dim_sep.separable_with_sets ~dim ~sets t in
+    let seeded =
+      Dim_sep.separable_with_sets ~seed_numeric:true ~dim ~sets t
+    in
+    if unseeded <> seeded then incr mismatches
+  done;
+  check int_c "seeded and unseeded verdicts agree on all 50 instances" 0
+    !mismatches
+
 let test_unbounded_dimension_growth () =
   (* Thm 8.7 shape: the alternating chain needs ever more features.
      Candidate indicator sets come from the enumerated GHW(1) fragment
@@ -549,6 +587,8 @@ let () =
       ( "dimension (Sec 6)",
         [
           Alcotest.test_case "example 6.2 dimensions" `Quick test_example62_dimension;
+          Alcotest.test_case "seeded search agrees" `Quick
+            test_seed_numeric_agreement;
           Alcotest.test_case "dim generation 6.2" `Quick test_dim_generate_example62;
           Alcotest.test_case "dim generation ghw" `Quick test_dim_generate_ghw;
           Alcotest.test_case "VC reduction triangle" `Quick test_vc_reduction_triangle;

@@ -1,0 +1,6 @@
+(* Effects fixture, lattice top: Forks. [Isolate.run] forks, and the
+   effect propagates to the indirect caller. *)
+
+let spawn_it () = Isolate.run (fun () -> 42)
+
+let indirect () = spawn_it ()

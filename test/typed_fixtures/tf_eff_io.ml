@@ -1,0 +1,8 @@
+(* Effects fixture: Io. [print_endline] is ambient io, and it
+   propagates through [compute] interprocedurally. *)
+
+let log_it msg = print_endline msg
+
+let compute x =
+  log_it "computing";
+  x + 1

@@ -1,0 +1,6 @@
+(* Effects fixture, lattice bottom: no ambient state anywhere — every
+   export must infer Pure and certify shard-safe. *)
+
+let add x y = x + y
+
+let double xs = List.map (fun x -> add x x) xs

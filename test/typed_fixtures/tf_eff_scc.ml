@@ -1,0 +1,14 @@
+(* Effects fixture: a mutual-recursion SCC whose join is WritesGlobal.
+   Only [ping] touches the unregistered counter, but [pong] sits in
+   the same SCC, so both must infer writes-global. *)
+
+let steps = ref 0
+
+let rec ping n =
+  if n <= 0 then !steps
+  else begin
+    incr steps;
+    pong (n - 1)
+  end
+
+and pong n = if n <= 0 then !steps else ping (n - 1)

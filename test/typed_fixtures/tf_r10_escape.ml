@@ -1,0 +1,20 @@
+(* R10 positive and negative: [tally]'s Hashtbl is allocated on the
+   parent side and captured by the closure handed to [Isolate.run] —
+   the worker mutates a fork-time copy and every write is lost at the
+   merge. [safe] allocates inside the thunk: born on the worker side,
+   never aliased, no finding. *)
+
+let tally xs =
+  let seen = Hashtbl.create 8 in
+  let work () = List.iter (fun x -> Hashtbl.replace seen x ()) xs in
+  match Isolate.run work with
+  | Ok () -> Hashtbl.length seen
+  | Error _ -> 0
+
+let safe xs =
+  let work () =
+    let local = Hashtbl.create 8 in
+    List.iter (fun x -> Hashtbl.replace local x ()) xs;
+    Hashtbl.length local
+  in
+  match Isolate.run work with Ok n -> n | Error _ -> 0
