@@ -1,6 +1,6 @@
-(* bench_gate [--max-regress PCT] BASELINE CURRENT — regression gate
-   over the flat {"key": number, ...} JSON trajectories the bench
-   harness writes.
+(* bench_gate [--init] [--max-regress PCT] BASELINE CURRENT —
+   regression gate over the flat {"key": number, ...} JSON
+   trajectories the bench harness writes.
 
    Default mode is the linsep/numeric_vs_exact gate (BENCH_linsep.json):
      - every instance's numeric verdict agreed with the exact solver;
@@ -13,6 +13,12 @@
    every metric is lower-is-better (times, per-record costs, overhead
    ratios — the shape of BENCH_runtime.json / BENCH_service.json), so
    current <= (1 + PCT/100) * baseline must hold for each.
+
+   With --init, a missing BASELINE is not an error: the current
+   trajectory is copied there as the fresh baseline and the gate
+   passes — the bootstrap path for a newly added trajectory whose
+   baseline has not been committed yet. When BASELINE exists, --init
+   is a no-op and the gate runs normally.
 
    Exit 0 when all gates hold, 1 with one line per violation, 2 on
    unreadable/malformed input. The parser is deliberately minimal: it
@@ -62,16 +68,34 @@ let get path fields key =
   | Some v -> v
   | None -> die "bench_gate: %s: missing field %S" path key
 
+let usage () =
+  die "usage: bench_gate [--init] [--max-regress PCT] BASELINE.json CURRENT.json"
+
 let () =
-  let max_regress, baseline_path, current_path =
-    match Sys.argv with
-    | [| _; b; c |] -> (None, b, c)
-    | [| _; "--max-regress"; pct; b; c |] -> (
+  let rec parse init regress = function
+    | "--init" :: rest -> parse true regress rest
+    | "--max-regress" :: pct :: rest -> (
         match float_of_string_opt pct with
-        | Some p when p >= 0.0 -> (Some p, b, c)
+        | Some p when p >= 0.0 -> parse init (Some p) rest
         | _ -> die "bench_gate: --max-regress expects a non-negative number")
-    | _ -> die "usage: bench_gate [--max-regress PCT] BASELINE.json CURRENT.json"
+    | [ b; c ] -> (init, regress, b, c)
+    | _ -> usage ()
   in
+  let init, max_regress, baseline_path, current_path =
+    parse false None (List.tl (Array.to_list Sys.argv))
+  in
+  if init && not (Sys.file_exists baseline_path) then begin
+    (* Bootstrap: validate the current trajectory, then adopt it as
+       the baseline verbatim. *)
+    let body = read_file current_path in
+    ignore (parse_flat_json current_path body);
+    let oc = open_out_bin baseline_path in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "bench_gate: initialized baseline %s from %s\n" baseline_path
+      current_path;
+    exit 0
+  end;
   let baseline = parse_flat_json baseline_path (read_file baseline_path) in
   let current = parse_flat_json current_path (read_file current_path) in
   let b key = get baseline_path baseline key in

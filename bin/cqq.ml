@@ -14,17 +14,32 @@ let die_unreachable socket_path why =
   Printf.eprintf "cqq: cannot reach daemon at %s: %s\n" socket_path why;
   exit 3
 
+(* A round trip that failed before a reply arrived. [transient] marks
+   the failures a restarting daemon produces — connection refused (the
+   listener is down), a missing socket file (not recreated yet), or a
+   connection torn down mid-request — which a bounded retry can ride
+   out. Everything else (permissions, reply timeout) is immediately
+   fatal. *)
+exception Unreachable of { why : string; transient : bool }
+
+let unreachable err =
+  let transient =
+    match err with
+    | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EPIPE -> true
+    | _ -> false
+  in
+  raise (Unreachable { why = Unix.error_message err; transient })
+
 (* One round trip: connect, send the line, read the reply line. The fd
-   is closed on every path. *)
-let request socket_path line =
+   is closed on every path; failures raise {!Unreachable}. *)
+let request_once socket_path line =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       (match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
       | () -> ()
-      | exception Unix.Unix_error (err, _, _) ->
-          die_unreachable socket_path (Unix.error_message err));
+      | exception Unix.Unix_error (err, _, _) -> unreachable err);
       let payload = Bytes.of_string (line ^ "\n") in
       let n = Bytes.length payload in
       let rec send off =
@@ -32,17 +47,21 @@ let request socket_path line =
           match Unix.write fd payload off (n - off) with
           | written -> send (off + written)
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+          | exception Unix.Unix_error (err, _, _) -> unreachable err
       in
       send 0;
       let buf = Buffer.create 256 in
       let chunk = Bytes.create 1024 in
       let deadline = Unix.gettimeofday () +. connect_timeout in
+      let timed_out () =
+        raise (Unreachable { why = "reply timed out"; transient = false })
+      in
       let rec recv () =
         let wait = deadline -. Unix.gettimeofday () in
-        if wait <= 0.0 then die_unreachable socket_path "reply timed out"
+        if wait <= 0.0 then timed_out ()
         else
           match Unix.select [ fd ] [] [] wait with
-          | [], _, _ -> die_unreachable socket_path "reply timed out"
+          | [], _, _ -> timed_out ()
           | _ -> begin
               match Unix.read fd chunk 0 (Bytes.length chunk) with
               | 0 -> Buffer.contents buf
@@ -56,10 +75,50 @@ let request socket_path line =
                       recv ()
                 end
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+              | exception Unix.Unix_error (err, _, _) -> unreachable err
             end
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
       in
       recv ())
+
+(* Retry policy for transient unreachability: the daemon's supervisor
+   restarts it after a crash, so a refused connection is usually a
+   window of a few hundred milliseconds. Delays follow the same
+   doubling schedule as Guard.retrying, scaled by a deterministic
+   xorshift draw from [1/2, 1) — same stream as Guard.jitter_stream —
+   and sleep through Budget.Clock.sleep so tests can intercept the
+   waiting. Disabled by --no-retry. *)
+let retry_attempts = 5
+let retry_backoff = 0.1
+
+let jitter_stream seed =
+  let state = ref ((seed + 1) * 0x2545F4914F6CDD1 land max_int) in
+  if !state = 0 then state := 0x2545F4914F6CDD1;
+  fun () ->
+    let s = !state in
+    let s = s lxor (s lsl 13) land max_int in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) land max_int in
+    state := s;
+    0.5 +. (0.5 *. (float_of_int (s land 0xFFFFF) /. float_of_int 0x100000))
+
+let retrying = ref true
+
+let request socket_path line =
+  let draw = jitter_stream 0x5eed in
+  let rec attempt k =
+    match request_once socket_path line with
+    | reply -> reply
+    | exception Unreachable { why; transient } ->
+        if (not transient) || (not !retrying) || k >= retry_attempts then
+          die_unreachable socket_path why
+        else begin
+          Budget.Clock.sleep
+            (retry_backoff *. (2.0 ** float_of_int k) *. draw ());
+          attempt (k + 1)
+        end
+  in
+  attempt 0
 
 (* Replies are "OK ...", "REJECT <code> <why>", "UNKNOWN <id>",
    "ERR <why>". *)
@@ -120,6 +179,17 @@ let socket_arg =
     required
     & opt (some string) None
     & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"The daemon's socket path.")
+
+let no_retry_arg =
+  Arg.(
+    value & flag
+    & info [ "no-retry" ]
+        ~doc:
+          "Fail immediately when the daemon is unreachable instead of \
+           retrying transient connection failures (refused, reset, \
+           missing socket) with backoff while it restarts.")
+
+let setup_retry no_retry = retrying := not no_retry
 
 let duration_of_string s0 =
   let s = String.trim s0 in
@@ -235,7 +305,9 @@ let spec_of ~kind ~lang ~db ~dim ~ghw_depth ~spin ~timeout ~fuel =
         }
 
 let submit_cmd =
-  let run socket kind lang db dim ghw_depth spin timeout fuel deadline wait =
+  let run socket no_retry kind lang db dim ghw_depth spin timeout fuel deadline
+      wait =
+    setup_retry no_retry;
     match spec_of ~kind ~lang ~db ~dim ~ghw_depth ~spin ~timeout ~fuel with
     | Error msg ->
         Printf.eprintf "cqq: %s\n" msg;
@@ -262,26 +334,33 @@ let submit_cmd =
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit a job; prints its id (or waits with --wait).")
     Term.(
-      const run $ socket_arg $ kind_arg $ lang_arg $ db_arg $ dim_arg
-      $ ghw_depth_arg $ spin_arg $ timeout_arg $ fuel_arg $ deadline_arg
-      $ wait_arg)
+      const run $ socket_arg $ no_retry_arg $ kind_arg $ lang_arg $ db_arg
+      $ dim_arg $ ghw_depth_arg $ spin_arg $ timeout_arg $ fuel_arg
+      $ deadline_arg $ wait_arg)
 
 let status_cmd =
-  let run socket id = exit_of_reply (request socket ("STATUS " ^ id)) in
+  let run socket no_retry id =
+    setup_retry no_retry;
+    exit_of_reply (request socket ("STATUS " ^ id))
+  in
   Cmd.v
     (Cmd.info "status" ~doc:"Print a job's state.")
-    Term.(const run $ socket_arg $ id_arg)
+    Term.(const run $ socket_arg $ no_retry_arg $ id_arg)
 
 let simple_cmd name ~doc line =
-  let run socket = exit_of_reply (request socket line) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg)
+  let run socket no_retry =
+    setup_retry no_retry;
+    exit_of_reply (request socket line)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ no_retry_arg)
 
 let stats_cmd = simple_cmd "stats" ~doc:"Print service counters." "STATS"
 let list_cmd = simple_cmd "list" ~doc:"List all known job ids." "LIST"
 let ping_cmd = simple_cmd "ping" ~doc:"Check the daemon is alive." "PING"
 
 let drain_cmd =
-  let run socket =
+  let run socket no_retry =
+    setup_retry no_retry;
     exit_of_reply (request socket "DRAIN")
   in
   Cmd.v
@@ -289,7 +368,7 @@ let drain_cmd =
        ~doc:
          "Ask the daemon to drain: finish admitted jobs, accept nothing \
           new, exit when idle.")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ no_retry_arg)
 
 let () =
   let doc = "client for the cqserved solver job daemon" in

@@ -590,11 +590,18 @@ let r8_drift sources =
 
 (* [exported_roots], but keeping the provenance: which module exports
    which name, and which graph node it resolved to. The shard-safety
-   report and R9 both consume this. *)
+   report and R9 both consume this.
+
+   Coordinator modules live outside the solver dirs (they orchestrate
+   rather than solve) but their exports are exactly the surfaces a
+   concurrent caller reaches first, so they are certified alongside
+   the solver entry points. *)
+let coordinator_modules = [ "Shardexec" ]
+
 let entry_points g sources =
   List.concat_map
     (fun s ->
-      if not s.s_solver then []
+      if (not s.s_solver) && not (List.mem s.s_mod coordinator_modules) then []
       else
         match s.s_intf with
         | Some sg ->

@@ -101,17 +101,24 @@ type ladder_result = {
 
 val pp_provenance : Format.formatter -> provenance -> unit
 
-(** [decide_with_fallback ?budget ?degrade ?rungs ?runner t] runs the
-    graceful-degradation ladder: exact CQ-Sep, then CQ[m] for each
-    [m] in [rungs] (default [3; 2; 1]), then approximate separability
-    with reported slack. All rungs share [budget]'s absolute
-    deadline; fuel is refilled per rung. With [degrade = false]
-    (or on a non-resource failure) the ladder stops after the exact
-    attempt and reports [Gave_up]. [runner] (default {!Guard.runner})
-    chooses the execution strategy per rung — pass [Isolate.runner ()]
-    for hard process isolation, or wrap either in [Guard.retrying] for
-    bounded budget-escalating retries. *)
+(** [decide_with_fallback ?budget ?degrade ?rungs ?runner ?sharding t]
+    runs the graceful-degradation ladder: exact CQ-Sep, then CQ[m] for
+    each [m] in [rungs] (default [3; 2; 1]), then approximate
+    separability with reported slack. All rungs share [budget]'s
+    absolute deadline; fuel is refilled per rung. With
+    [degrade = false] (or on a non-resource failure) the ladder stops
+    after the exact attempt and reports [Gave_up]. [runner] (default
+    {!Guard.runner}) chooses the execution strategy per rung — pass
+    [Isolate.runner ()] for hard process isolation, or wrap either in
+    [Guard.retrying] for bounded budget-escalating retries. With
+    [sharding] (a {!Shardexec.plan} with more than one shard), the
+    CQ[m] and slack rungs instead fan their candidate spaces out
+    across fault-tolerant fork workers
+    ({!Atoms_sep.separable_sharded}, {!Atoms_sep.min_errors_sharded});
+    answers are byte-identical to the sequential rungs, so provenance
+    is unaffected. The exact rung has no per-feature candidate space
+    and always goes through [runner]. *)
 val decide_with_fallback :
   ?budget:Budget.t -> ?degrade:bool -> ?rungs:int list ->
-  ?runner:Guard.runner ->
+  ?runner:Guard.runner -> ?sharding:Shardexec.plan ->
   Labeling.training -> ladder_result

@@ -61,7 +61,8 @@ let s_escalations = ref 0
 let s_uncertified = ref 0
 
 let () =
-  Runtime_state.register ~name:"nsep.tier" (fun () -> ambient_tier := Numeric)
+  Runtime_state.register ~name:"nsep.tier" ~kind:`Config (fun () ->
+      ambient_tier := Numeric)
 
 let () =
   Runtime_state.register ~name:"nsep.stats"

@@ -71,10 +71,17 @@ let child_hooks : (unit -> unit) list ref = ref []
 let at_fork_child f = child_hooks := f :: !child_hooks
 
 let () =
-  Runtime_state.register ~name:"isolate.child_hooks" (fun () ->
+  Runtime_state.register ~name:"isolate.child_hooks" ~kind:`Config (fun () ->
       child_hooks := [])
 
+(* Every fresh worker first drops the caches it inherited from the
+   parent image: a chaos-poisoned or merely stale memo table
+   (cq_sep.chain_cache, struct_iso.intern, ...) must never leak into a
+   shard result. Configuration-kind state (the numeric-tier selector,
+   this hook list itself) survives — the child keeps the semantics the
+   operator chose. *)
 let run_child_hooks () =
+  Runtime_state.reset_caches ();
   List.iter (fun f -> try f () with _ -> ()) !child_hooks
 
 type 'a worker = {

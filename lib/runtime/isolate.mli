@@ -98,4 +98,11 @@ val at_fork_child : (unit -> unit) -> unit
     that outlives a crashed parent holds them open and, e.g., keeps
     the socket answering connects with nobody accepting. Hooks must
     not raise (failures are swallowed); registrations are for the
-    process lifetime (reset via {!Runtime_state}). *)
+    process lifetime (reset via {!Runtime_state}).
+
+    Independent of any registered hooks, every fresh worker calls
+    {!Runtime_state.reset_caches} first: inherited memo tables are
+    dropped before the worker computes, so stale or corrupted parent
+    cache state cannot change a child's verdict, while
+    configuration-kind state (e.g. the numeric-tier selector) keeps
+    its value. *)

@@ -5,27 +5,41 @@
    level must be resettable and self-checkable from one choke point —
    otherwise a chaos test has no way to prove an abort left it sound.
    cqlint rule R5 rejects top-level mutable state in solver directories
-   that never registers here. *)
+   that never registers here.
+
+   Entries carry a [kind]: [`Cache] for state that is semantically
+   transparent (resetting it costs recomputation, never correctness)
+   and [`Config] for ambient configuration whose value IS the
+   semantics (the numeric-tier selector, registered hook lists).
+   {!reset_caches} — the fork-child hygiene hook — resets only the
+   former: a freshly forked shard worker must drop inherited memo
+   tables but keep the tier the operator selected. *)
+
+type kind = [ `Cache | `Config ]
 
 type entry = {
   name : string;
+  kind : kind;
   reset : unit -> unit;
   validate : unit -> bool;
 }
 
 let registry : entry list ref = ref []
 
-let register ~name ?(validate = fun () -> true) reset =
+let register ~name ?(kind = `Cache) ?(validate = fun () -> true) reset =
   if List.exists (fun e -> String.equal e.name name) !registry then
     invalid_arg
       (Printf.sprintf "Runtime_state.register: duplicate name %S" name);
-  registry := { name; reset; validate } :: !registry
+  registry := { name; kind; reset; validate } :: !registry
 
 let names () =
   List.sort String.compare (List.map (fun e -> e.name) !registry)
 
 let registered name = List.exists (fun e -> String.equal e.name name) !registry
 let reset_all () = List.iter (fun e -> e.reset ()) !registry
+
+let reset_caches () =
+  List.iter (fun e -> if e.kind = `Cache then e.reset ()) !registry
 
 let validate_all () =
   !registry

@@ -14,13 +14,21 @@
     ([let () = Runtime_state.register ...]) and is not thread-safe —
     like the ambient budget, the registry assumes single-domain use. *)
 
+type kind = [ `Cache | `Config ]
+(** [`Cache] state is semantically transparent: resetting it costs
+    recomputation, never correctness (memo tables, interning maps,
+    counters). [`Config] state carries meaning — the selected numeric
+    tier, registered hook lists — and is only cleared by the full
+    {!reset_all}. *)
+
 val register :
-  name:string -> ?validate:(unit -> bool) -> (unit -> unit) -> unit
-(** [register ~name ?validate reset] adds an entry. [name] should be
-    ["module.binding"] (e.g. ["cq_sep.chain_cache"]). [reset] must
-    restore the state to its pristine, just-loaded value; [validate]
-    (default: always true) checks internal invariants without mutating
-    anything.
+  name:string -> ?kind:kind -> ?validate:(unit -> bool) ->
+  (unit -> unit) -> unit
+(** [register ~name ?kind ?validate reset] adds an entry. [name] should
+    be ["module.binding"] (e.g. ["cq_sep.chain_cache"]). [kind]
+    defaults to [`Cache]. [reset] must restore the state to its
+    pristine, just-loaded value; [validate] (default: always true)
+    checks internal invariants without mutating anything.
     @raise Invalid_argument on a duplicate [name]. *)
 
 val names : unit -> string list
@@ -29,8 +37,16 @@ val names : unit -> string list
 val registered : string -> bool
 
 val reset_all : unit -> unit
-(** Reset every registered piece of state to pristine. Answers computed
-    afterwards must not depend on anything computed before. *)
+(** Reset every registered piece of state — caches and configuration —
+    to pristine. Answers computed afterwards must not depend on
+    anything computed before. *)
+
+val reset_caches : unit -> unit
+(** Reset only the [`Cache]-kind entries. This is the fork-child
+    hygiene hook: a freshly forked worker drops every inherited memo
+    table (chaos-poisoned or stale parent state can never leak into a
+    shard result) while ambient configuration such as the numeric-tier
+    selector keeps the value the operator chose. *)
 
 val validate_all : unit -> string list
 (** Run every [validate]; returns the (sorted) names that failed —

@@ -1,0 +1,417 @@
+(* Fault-tolerant sharded execution with a deterministic merge.
+
+   The engine is a single-process coordinator over Isolate fork
+   workers. All ordering-sensitive work — the shard partition, the
+   final reduction — is a pure function of the unit count, never of
+   completion order: results are folded strictly in range order by
+   [merge_results], so the merged value is byte-identical to the
+   sequential computation no matter which workers die or when.
+
+   Failure classification, per worker result:
+     - Ok v                  -> the shard is done;
+     - Error Timeout         -> the shared absolute deadline passed
+                                (either cooperatively inside the
+                                worker or by the parent's SIGKILL);
+                                retrying under the same deadline
+                                cannot help, so the run fails;
+     - Error (Limit_exceeded _) -> the "kill class": a SIGKILLed/OOMed/
+                                crashed worker, or a cooperative
+                                structural limit. Requeued under an
+                                escalated budget; at [quarantine_kills]
+                                deaths the shard is bisected, so one
+                                pathological unit cannot sink the job
+                                and is eventually isolated at width
+                                one and reported;
+     - Error (Fuel_exhausted _) -> clean retry with escalated fuel, up
+                                to [max_attempts];
+     - Error (Solver_error _)   -> aborts the run (retry cannot help).
+
+   Stragglers: once three shard durations are known, a running shard
+   older than max(50ms, 2 * p95) gets a speculative duplicate when a
+   worker slot is free and no real work is queued. The first terminal
+   result wins; the resolution is journaled before the loser is
+   killed and reaped.
+
+   Reaping discipline: every spawned worker is either polled to
+   completion (Isolate reaps on that path) or force-killed and
+   awaited by [abort_all] — no path out of [run] leaks a child. *)
+
+type range = { lo : int; hi : int }
+
+type plan = {
+  shards : int;
+  workers : int;
+  max_attempts : int;
+  quarantine_kills : int;
+  speculate : bool;
+  grace : float;
+}
+
+let plan ?(shards = 4) ?workers ?(max_attempts = 3) ?(quarantine_kills = 2)
+    ?(speculate = true) ?(grace = 1.0) () =
+  if shards < 1 then invalid_arg "Shardexec.plan: shards must be >= 1";
+  let workers = match workers with Some w -> w | None -> min shards 8 in
+  if workers < 1 then invalid_arg "Shardexec.plan: workers must be >= 1";
+  if max_attempts < 1 then
+    invalid_arg "Shardexec.plan: max_attempts must be >= 1";
+  if quarantine_kills < 1 then
+    invalid_arg "Shardexec.plan: quarantine_kills must be >= 1";
+  if grace < 0.0 then invalid_arg "Shardexec.plan: grace must be >= 0";
+  { shards; workers; max_attempts; quarantine_kills; speculate; grace }
+
+type event =
+  | Dispatched of range * int
+  | Completed of range * int
+  | Requeued of range * Guard.failure
+  | Killed of range * int
+  | Bisected of range * range * range
+  | Poison of int * Guard.failure
+  | Speculated of range
+  | Spec_resolved of range * [ `Original | `Duplicate ]
+
+type stats = {
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable requeued : int;
+  mutable kills : int;
+  mutable bisections : int;
+  mutable speculations : int;
+  mutable spec_losers : int;
+  mutable max_inflight : int;
+}
+
+let engine_stats =
+  {
+    dispatched = 0;
+    completed = 0;
+    requeued = 0;
+    kills = 0;
+    bisections = 0;
+    speculations = 0;
+    spec_losers = 0;
+    max_inflight = 0;
+  }
+
+let () =
+  Runtime_state.register ~name:"shardexec.stats"
+    ~validate:(fun () ->
+      engine_stats.dispatched >= 0
+      && engine_stats.completed >= 0
+      && engine_stats.completed <= engine_stats.dispatched
+      && engine_stats.kills >= 0
+      && engine_stats.spec_losers <= engine_stats.speculations)
+    (fun () ->
+      engine_stats.dispatched <- 0;
+      engine_stats.completed <- 0;
+      engine_stats.requeued <- 0;
+      engine_stats.kills <- 0;
+      engine_stats.bisections <- 0;
+      engine_stats.speculations <- 0;
+      engine_stats.spec_losers <- 0;
+      engine_stats.max_inflight <- 0)
+
+(* Most recent run's journal, newest first internally. *)
+let journal_log : event list ref = ref []
+
+let () =
+  Runtime_state.register ~name:"shardexec.journal" (fun () ->
+      journal_log := [])
+
+let stats () = { engine_stats with dispatched = engine_stats.dispatched }
+let journal () = List.rev !journal_log
+
+let partition ~n ~shards =
+  if n < 0 then invalid_arg "Shardexec.partition: n must be >= 0";
+  if shards < 1 then invalid_arg "Shardexec.partition: shards must be >= 1";
+  let k = min shards n in
+  if k = 0 then []
+  else begin
+    let base = n / k and extra = n mod k in
+    let rec go i lo acc =
+      if i = k then List.rev acc
+      else begin
+        let width = base + (if i < extra then 1 else 0) in
+        go (i + 1) (lo + width) ({ lo; hi = lo + width } :: acc)
+      end
+    in
+    go 0 0 []
+  end
+
+let merge_results ~merge results =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Int.compare a.lo b.lo) results
+  in
+  match sorted with
+  | [] -> invalid_arg "Shardexec.merge_results: empty result set"
+  | (r0, v0) :: rest ->
+      let covered, acc =
+        List.fold_left
+          (fun (cur, acc) (r, v) ->
+            if r.lo <> cur then
+              invalid_arg
+                (Printf.sprintf
+                   "Shardexec.merge_results: ranges do not tile (next shard \
+                    starts at %d, expected %d)"
+                   r.lo cur);
+            (r.hi, merge acc v))
+          (r0.hi, v0) rest
+      in
+      ignore covered;
+      acc
+
+(* --- the coordinator -------------------------------------------------- *)
+
+type desc = {
+  d_range : range;
+  mutable d_attempts : int;  (* dispatches counted against max_attempts *)
+  mutable d_kills : int;
+  mutable d_boosts : int;  (* budget escalations applied *)
+  mutable d_spec : bool;  (* a duplicate exists (or existed) this round *)
+  mutable d_settled : bool;  (* a terminal result was classified this round *)
+}
+
+let desc range =
+  {
+    d_range = range;
+    d_attempts = 0;
+    d_kills = 0;
+    d_boosts = 0;
+    d_spec = false;
+    d_settled = false;
+  }
+
+type 'r inflight = {
+  i_desc : desc;
+  i_worker : 'r Isolate.worker;
+  i_started : float;
+  i_side : [ `Original | `Duplicate ];
+}
+
+let percentile95 durations =
+  let sorted = List.sort Float.compare durations in
+  let len = List.length sorted in
+  let idx = min (len - 1) (int_of_float (ceil (0.95 *. float_of_int len)) - 1) in
+  List.nth sorted (max 0 idx)
+
+let run (type r) ?(plan = plan ()) ?budget ?on_spawn ~n
+    ~(compute : range -> r) ~(merge : r -> r -> r) () :
+    (r, Guard.failure) result =
+  if n < 0 then invalid_arg "Shardexec.run: n must be >= 0";
+  let base = match budget with Some b -> b | None -> Budget.installed () in
+  if n <= 1 || plan.shards <= 1 || plan.workers <= 1 then
+    (* The reference path the sharded one is byte-identical to. *)
+    Guard.run base (fun () -> compute { lo = 0; hi = n })
+  else begin
+    journal_log := [];
+    let record ev = journal_log := ev :: !journal_log in
+    let pending = ref (List.map desc (partition ~n ~shards:plan.shards)) in
+    let running : r inflight list ref = ref [] in
+    let completed : (range * r) list ref = ref [] in
+    let durations = ref [] in
+    let failure : Guard.failure option ref = ref None in
+    let fail f = if !failure = None then failure := Some f in
+    let rec escalated b k =
+      if k <= 0 then b else escalated (Budget.escalate b) (k - 1)
+    in
+    let spawn_for side d =
+      (* Fresh fuel per attempt under the caller's absolute deadline,
+         escalated once per previous failure of this shard. Bind the
+         range out of the mutable descriptor: the worker closure must
+         capture plain data only, never parent-side mutable state. *)
+      let shard = d.d_range in
+      let b = escalated (Budget.refresh base) d.d_boosts in
+      let worker =
+        (* cqlint: allow R7 — the engine is polymorphic in the shard result; clients owe marshal-safe plain data, the contract stated on [run] in the interface *)
+        Isolate.spawn ~budget:b ~grace:plan.grace (fun () -> compute shard)
+      in
+      (match on_spawn with
+      | Some f -> f ~pid:(Isolate.pid worker) ~shard
+      | None -> ());
+      engine_stats.dispatched <- engine_stats.dispatched + 1;
+      (match side with
+      | `Original ->
+          d.d_attempts <- d.d_attempts + 1;
+          record (Dispatched (shard, d.d_attempts))
+      | `Duplicate ->
+          d.d_spec <- true;
+          engine_stats.speculations <- engine_stats.speculations + 1;
+          record (Speculated shard));
+      running :=
+        {
+          i_desc = d;
+          i_worker = worker;
+          i_started = Budget.Clock.now ();
+          i_side = side;
+        }
+        :: !running;
+      let inflight = List.length !running in
+      if inflight > engine_stats.max_inflight then
+        engine_stats.max_inflight <- inflight
+    in
+    let dispatch () =
+      while
+        !failure = None
+        && List.length !running < plan.workers
+        && !pending <> []
+      do
+        match !pending with
+        | [] -> ()
+        | d :: rest ->
+            pending := rest;
+            spawn_for `Original d
+      done
+    in
+    let maybe_speculate () =
+      if
+        plan.speculate && !failure = None && !pending = []
+        && List.length !running < plan.workers
+        && List.length !durations >= 3
+      then begin
+        let limit = Float.max 0.05 (2.0 *. percentile95 !durations) in
+        let now = Budget.Clock.now () in
+        List.iter
+          (fun i ->
+            if
+              i.i_side = `Original
+              && (not i.i_desc.d_spec)
+              && now -. i.i_started > limit
+              && List.length !running < plan.workers
+            then spawn_for `Duplicate i.i_desc)
+          !running
+      end
+    in
+    let requeue d f kind =
+      d.d_boosts <- d.d_boosts + 1;
+      d.d_spec <- false;
+      d.d_settled <- false;
+      (match kind with
+      | `Clean ->
+          engine_stats.requeued <- engine_stats.requeued + 1;
+          record (Requeued (d.d_range, f))
+      | `Kill -> ());
+      pending := !pending @ [ d ]
+    in
+    let bisect d =
+      let { lo; hi } = d.d_range in
+      let mid = lo + ((hi - lo) / 2) in
+      let h1 = desc { lo; hi = mid } and h2 = desc { lo = mid; hi } in
+      engine_stats.bisections <- engine_stats.bisections + 1;
+      record (Bisected (d.d_range, h1.d_range, h2.d_range));
+      pending := h1 :: h2 :: !pending
+    in
+    let classify i result =
+      let d = i.i_desc in
+      match result with
+      | Ok v ->
+          engine_stats.completed <- engine_stats.completed + 1;
+          record (Completed (d.d_range, d.d_attempts));
+          completed := (d.d_range, v) :: !completed;
+          durations := (Budget.Clock.now () -. i.i_started) :: !durations
+      | Error Guard.Timeout ->
+          (* The shared absolute deadline passed; a retry under the
+             same deadline would die instantly. *)
+          fail Guard.Timeout
+      | Error (Guard.Solver_error _ as f) -> fail f
+      | Error (Guard.Limit_exceeded _ as f) ->
+          d.d_kills <- d.d_kills + 1;
+          engine_stats.kills <- engine_stats.kills + 1;
+          record (Killed (d.d_range, d.d_kills));
+          if d.d_kills >= plan.quarantine_kills then begin
+            if d.d_range.hi - d.d_range.lo > 1 then bisect d
+            else begin
+              record (Poison (d.d_range.lo, f));
+              fail
+                (Guard.Solver_error
+                   (Printf.sprintf
+                      "shardexec: poison unit %d isolated after %d worker \
+                       deaths (%s)"
+                      d.d_range.lo d.d_kills (Guard.failure_to_string f)))
+            end
+          end
+          else requeue d f `Kill
+      | Error (Guard.Fuel_exhausted _ as f) ->
+          if d.d_attempts >= plan.max_attempts then fail f
+          else requeue d f `Clean
+    in
+    let handle_terminal i result =
+      let d = i.i_desc in
+      if d.d_settled then begin
+        (* The partner already won this round: this worker is the
+           loser, already terminal and reaped by poll. *)
+        if d.d_spec then
+          engine_stats.spec_losers <- engine_stats.spec_losers + 1
+      end
+      else begin
+        d.d_settled <- true;
+        (* First terminal result wins. Journal the resolution before
+           killing any still-running partner. *)
+        if d.d_spec then begin
+          record (Spec_resolved (d.d_range, i.i_side));
+          let losers, rest =
+            List.partition (fun j -> j.i_desc == d) !running
+          in
+          running := rest;
+          List.iter
+            (fun j ->
+              engine_stats.spec_losers <- engine_stats.spec_losers + 1;
+              Isolate.force_kill j.i_worker;
+              ignore (Isolate.await j.i_worker))
+            losers
+        end;
+        classify i result
+      end
+    in
+    let abort_all () =
+      List.iter
+        (fun i ->
+          Isolate.force_kill i.i_worker;
+          ignore (Isolate.await i.i_worker))
+        !running;
+      running := []
+    in
+    let rec loop () =
+      (match Budget.remaining_time base with
+      | Some t when t <= 0.0 -> fail Guard.Timeout
+      | _ -> ());
+      if !failure <> None then abort_all ()
+      else begin
+        dispatch ();
+        maybe_speculate ()
+      end;
+      if !running = [] then ()
+      else begin
+        let fds =
+          List.filter_map (fun i -> Isolate.poll_fd i.i_worker) !running
+        in
+        (try ignore (Unix.select fds [] [] 0.05)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        let terminal, still =
+          List.partition_map
+            (fun i ->
+              match Isolate.poll i.i_worker with
+              | Some result -> Either.Left (i, result)
+              | None -> Either.Right i)
+            !running
+        in
+        running := still;
+        List.iter
+          (fun (i, result) ->
+            if !failure = None then handle_terminal i result
+            else if i.i_desc.d_spec && i.i_desc.d_settled then
+              engine_stats.spec_losers <- engine_stats.spec_losers + 1)
+          terminal;
+        loop ()
+      end
+    in
+    (match loop () with
+    | () -> ()
+    | exception e ->
+        abort_all ();
+        raise e);
+    match !failure with
+    | Some f -> Error f
+    | None ->
+        (* The descriptors tile [0, n) by construction (partition and
+           bisection both preserve coverage); merge in range order. *)
+        Ok (merge_results ~merge !completed)
+  end

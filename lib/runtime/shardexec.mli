@@ -1,0 +1,132 @@
+(** Fault-tolerant sharded execution with a deterministic merge.
+
+    [Shardexec] partitions an [n]-unit work space (feature-query
+    candidates, indicator-matrix columns) into contiguous shard
+    descriptors, computes each shard in a budgeted {!Isolate} fork
+    worker, and folds the per-shard results back together in fixed
+    shard-index order. Every failure mode is handled structurally:
+
+    - a worker killed by signal, OOM or deadline gets its shard
+      requeued under an escalated budget ({!Budget.escalate}), a
+      bounded number of times;
+    - a shard that kills its worker {!plan.quarantine_kills} times is
+      quarantined and bisected into two sub-shards, recursively, until
+      the poisonous unit is isolated at width one and reported;
+    - a straggling shard past a p95-based deadline gets a speculative
+      duplicate worker; the first terminal result wins, the resolution
+      is journaled, and only then is the loser killed and reaped;
+    - a clean in-worker resource failure (fuel, cooperative limits) is
+      retried with escalating budgets up to {!plan.max_attempts}; a
+      solver error aborts the run immediately (retry would not help).
+
+    Determinism: provided [compute] is a function of the range alone
+    and splits homomorphically — [compute {lo; hi}] equals
+    [merge (compute {lo; mid}) (compute {mid; hi})] for every interior
+    [mid] — the merged result is byte-identical to the sequential
+    [compute {lo = 0; hi = n}], no matter which workers die, which
+    shards are bisected, or in which order shards complete: results
+    are reduced in range order by {!merge_results}, never in
+    completion order. Forked workers drop inherited caches on startup
+    (see {!Isolate.at_fork_child}), so parent cache state cannot leak
+    into a shard result.
+
+    Like the rest of the runtime, the engine is single-owner and not
+    thread-safe; engine counters and the per-run journal are
+    registered with {!Runtime_state}. *)
+
+type range = { lo : int; hi : int }
+(** A half-open interval [\[lo, hi)] of work-unit indexes. *)
+
+type plan = {
+  shards : int;  (** target number of initial shards *)
+  workers : int;  (** maximum concurrent worker processes *)
+  max_attempts : int;
+      (** total attempts per shard for clean resource failures *)
+  quarantine_kills : int;
+      (** worker deaths before a shard is quarantined and bisected *)
+  speculate : bool;  (** duplicate stragglers past the p95 deadline *)
+  grace : float;  (** SIGKILL grace passed to {!Isolate.spawn} *)
+}
+
+val plan :
+  ?shards:int ->
+  ?workers:int ->
+  ?max_attempts:int ->
+  ?quarantine_kills:int ->
+  ?speculate:bool ->
+  ?grace:float ->
+  unit ->
+  plan
+(** [plan ()] is the default plan: 4 shards, [min shards 8] workers,
+    3 attempts, quarantine after 2 kills, speculation on, 1s grace.
+    @raise Invalid_argument on a non-positive [shards]/[workers]/
+    [max_attempts]/[quarantine_kills] or a negative [grace]. *)
+
+(** One entry of the engine's per-run journal, oldest first. *)
+type event =
+  | Dispatched of range * int  (** shard, 1-based attempt *)
+  | Completed of range * int
+  | Requeued of range * Guard.failure
+      (** clean resource failure; redispatched under a bigger budget *)
+  | Killed of range * int  (** worker died; death count so far *)
+  | Bisected of range * range * range  (** quarantined shard, halves *)
+  | Poison of int * Guard.failure
+      (** the isolated single-unit shard that keeps killing workers *)
+  | Speculated of range  (** duplicate launched for a straggler *)
+  | Spec_resolved of range * [ `Original | `Duplicate ]
+      (** first terminal result won; journaled before the loser is
+          killed *)
+
+type stats = {
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable requeued : int;
+  mutable kills : int;
+  mutable bisections : int;
+  mutable speculations : int;
+  mutable spec_losers : int;
+  mutable max_inflight : int;
+}
+
+val stats : unit -> stats
+(** Cumulative engine counters (a private copy). Reset through the
+    ["shardexec.stats"] {!Runtime_state} registration. *)
+
+val journal : unit -> event list
+(** The journal of the most recent {!run}, oldest first. *)
+
+val partition : n:int -> shards:int -> range list
+(** [partition ~n ~shards] splits [\[0, n)] into [min shards n]
+    contiguous non-empty ranges whose sizes differ by at most one —
+    the deterministic shard descriptors of a run.
+    @raise Invalid_argument when [n < 0] or [shards < 1]. *)
+
+val merge_results : merge:('r -> 'r -> 'r) -> (range * 'r) list -> 'r
+(** [merge_results ~merge results] sorts [results] by [lo] and folds
+    [merge] left-to-right in that fixed order — the only reduction
+    the engine ever performs, making the merged value invariant to
+    completion order.
+    @raise Invalid_argument on an empty list or when the ranges do not
+    tile a single contiguous interval. *)
+
+val run :
+  ?plan:plan ->
+  ?budget:Budget.t ->
+  ?on_spawn:(pid:int -> shard:range -> unit) ->
+  n:int ->
+  compute:(range -> 'r) ->
+  merge:('r -> 'r -> 'r) ->
+  unit ->
+  ('r, Guard.failure) result
+(** [run ?plan ?budget ?on_spawn ~n ~compute ~merge ()] computes
+    [compute {lo = 0; hi = n}] by sharding. [budget] defaults to the
+    ambient one; each shard attempt runs under a fresh
+    {!Budget.refresh} of it (escalated per retry), and the budget's
+    deadline bounds the whole run. With [plan.shards <= 1],
+    [plan.workers <= 1] or [n <= 1] the computation runs sequentially
+    in-process under {!Guard.run} — the reference path the sharded
+    one is byte-identical to. [on_spawn] is called in the parent after
+    every worker fork (chaos tests and benches use it to SIGKILL
+    workers mid-shard). Poison isolation reports
+    [Error (Solver_error _)] naming the unit. No path leaks a worker:
+    every spawned process is reaped before [run] returns. *)

@@ -69,12 +69,28 @@ type finished = {
 }
 
 let poll t ~now =
+  (* Reap the whole sweep even when one worker blows up mid-scan. An
+     exception from [Isolate.poll] (whose abandon path has already
+     killed and reaped that worker) used to abort the partition,
+     leaving every other worker that died in the same select wake-up
+     unreaped and its slot occupied — under a burst of simultaneous
+     deaths the pool could wedge below capacity. Converting the
+     exception into a finished record keeps the accounting exact: all
+     slots freed by the burst are reclaimed in this single call,
+     before the caller dispatches anything new. *)
   let finished, still =
     List.partition_map
       (fun r ->
         match Isolate.poll r.r_worker with
         | Some res -> Either.Left (r, res)
-        | None -> Either.Right r)
+        | None -> Either.Right r
+        | exception e ->
+            Either.Left
+              ( r,
+                Error
+                  (Guard.Solver_error
+                     (Printf.sprintf "supervisor: reap failed: %s"
+                        (Printexc.to_string e))) ))
       t.s_running
   in
   t.s_running <- still;

@@ -43,7 +43,11 @@ type finished = {
 
 val poll : t -> now:float -> finished list
 (** Reap every worker that has finished (killing any past its
-    deadline), without blocking. *)
+    deadline), without blocking. The sweep is total: even if reaping
+    one worker fails with an exception, the worker is reported as
+    finished with a structured error and the rest of the sweep still
+    runs, so every slot freed by a burst of simultaneous deaths is
+    reclaimed in this one call. *)
 
 val fds : t -> Unix.file_descr list
 (** The running workers' result pipes — what the daemon selects on. *)

@@ -30,8 +30,8 @@ let set_crash_hook h = crash_hook := h
 let fire stage = match !crash_hook with None -> () | Some f -> f stage
 
 let () =
-  Runtime_state.register ~name:"service.wal.crash_hook" (fun () ->
-      crash_hook := None)
+  Runtime_state.register ~name:"service.wal.crash_hook" ~kind:`Config
+    (fun () -> crash_hook := None)
 
 type t = {
   w_path : string;

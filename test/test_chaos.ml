@@ -522,7 +522,7 @@ let test_runtime_state_registry () =
       check bool_c (n ^ " registered") true (List.mem n names))
     [
       "cq_sep.chain_cache"; "cq_decomp.ghw_cache"; "struct_iso.intern";
-      "nsep.tier"; "nsep.stats";
+      "nsep.tier"; "nsep.stats"; "shardexec.stats"; "shardexec.journal";
     ];
   check bool_c "validate_all clean at rest" true
     (Runtime_state.validate_all () = [])

@@ -452,6 +452,58 @@ let test_no_zombies_after_failures () =
       Alcotest.fail "unreaped live child remains"
   | pid, _ -> Alcotest.failf "zombie child %d remained" pid
 
+(* Regression: a burst of simultaneous worker finishes — successes
+   and failures interleaved — must be fully reaped, and every slot
+   reclaimed, by the single [poll] that observes it. A partial sweep
+   here used to wedge pool slots until unrelated traffic polled
+   again. *)
+let test_supervisor_burst_reap () =
+  let sup = Supervisor.create ~pool_size:8 () in
+  let now = Budget.Clock.now () in
+  for i = 1 to 8 do
+    (* odd jobs are fuel-starved so the burst mixes outcomes *)
+    let spec =
+      if i mod 2 = 0 then selftest 10 else selftest ~fuel:5 300_000
+    in
+    Supervisor.start sup ~now ~id:(Printf.sprintf "burst-%d" i)
+      ~deadline:None spec
+  done;
+  check bool_c "pool saturated" false (Supervisor.has_capacity sup);
+  (* wait until every worker's result pipe is readable: all eight are
+     finished before the one poll below *)
+  let deadline = Budget.Clock.now () +. 10.0 in
+  let rec wait () =
+    let fds = Supervisor.fds sup in
+    let ready, _, _ = Unix.select fds [] [] 0.05 in
+    if List.length ready < List.length fds && Budget.Clock.now () < deadline
+    then wait ()
+  in
+  wait ();
+  let finished = Supervisor.poll sup ~now:(Budget.Clock.now ()) in
+  check int_c "one poll reaps the whole burst" 8 (List.length finished);
+  check int_c "all slots reclaimed" 0 (Supervisor.running_count sup);
+  check bool_c "capacity restored" true (Supervisor.has_capacity sup);
+  List.iter
+    (fun f ->
+      let starved =
+        int_of_string
+          (String.sub f.Supervisor.f_id 6 (String.length f.Supervisor.f_id - 6))
+        mod 2
+        = 1
+      in
+      match (f.Supervisor.f_outcome, starved) with
+      | Ok _, false | Error (Guard.Fuel_exhausted _), true -> ()
+      | outcome, _ ->
+          Alcotest.failf "%s: unexpected outcome %s" f.Supervisor.f_id
+            (match outcome with
+            | Ok s -> "Ok " ^ s
+            | Error e -> Guard.failure_to_string e))
+    finished;
+  (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | _ -> Alcotest.fail "burst left a child behind");
+  Supervisor.abort_all sup
+
 let test_at_fork_child_hook () =
   let r, w = Unix.pipe () in
   Isolate.at_fork_child (fun () ->
@@ -1203,6 +1255,8 @@ let () =
         [
           Alcotest.test_case "no zombies after 100 failures" `Quick
             test_no_zombies_after_failures;
+          Alcotest.test_case "supervisor reaps a death burst in one poll"
+            `Quick test_supervisor_burst_reap;
           Alcotest.test_case "at-fork child hook" `Quick
             test_at_fork_child_hook;
           Alcotest.test_case "spawn/poll multiplex" `Quick

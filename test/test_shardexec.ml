@@ -1,0 +1,571 @@
+(* Chaos suite for the Shardexec engine and its solver clients.
+
+   The contract under test is the one stated on [Shardexec.run]: no
+   matter which workers die, which shards get quarantined and
+   bisected, or in which order shards complete, the merged result is
+   byte-identical to the sequential computation — and no exit path
+   leaks a child process. The sweeps are seeded, so a red run here
+   reproduces deterministically.
+
+   Suites:
+   - partition/merge unit properties, including the 1000-order
+     merge-determinism property (completion order must not matter);
+   - a 260-seed SIGKILL sweep: workers are shot mid-shard from the
+     parent's [on_spawn] hook and the verdict must not move;
+   - quarantine: a compute that kills its worker whenever its range
+     covers a poisonous unit must end with that exact unit isolated
+     at width one and reported as [Solver_error];
+   - speculation: a straggler wedged on a flag file must get a
+     speculative duplicate, the resolution must be journaled, and
+     the loser must be reaped;
+   - fork hygiene: corrupted parent caches must not leak into shard
+     verdicts (children reset [`Cache] registrations on startup)
+     while [`Config] registrations survive the fork;
+   - the sharded solver clients (Atoms_sep, Dim_sep, the Cq_sep
+     ladder) must agree with their sequential counterparts, also
+     under chaos-injected in-worker budget failures. *)
+
+open Test_util
+
+(* --- helpers --------------------------------------------------------- *)
+
+let bytes_of v = Marshal.to_string v []
+
+(* Deterministic per-test PRNG (xorshift), independent of Random's
+   global state. *)
+let xorshift seed =
+  let s = ref (if seed = 0 then 0x9E3779B9 else seed land max_int) in
+  fun () ->
+    let x = !s in
+    let x = x lxor (x lsl 13) land max_int in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) land max_int in
+    s := x;
+    x
+
+(* After [run] returns there must be no child process left in any
+   state: not running (waitpid would find it), not zombie (waitpid
+   would reap it). *)
+let no_zombies () =
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | 0, _ -> Alcotest.fail "a child process outlived the run"
+  | pid, _ -> Alcotest.failf "unreaped zombie child %d" pid
+
+(* The work function of the chaos sweeps: a deterministic per-unit
+   value with a few hundred microseconds of mixing, so SIGKILLs sent
+   right after the fork reliably land mid-shard. Splits
+   homomorphically under list append by construction. *)
+let unit_value i =
+  let h = ref (i + 0x9E37) in
+  for _ = 1 to 20_000 do
+    h := ((!h * 48271) + i) land 0x3FFFFFFF
+  done;
+  !h
+
+let slice { Shardexec.lo; hi } =
+  List.init (hi - lo) (fun k -> unit_value (lo + k))
+
+let failure_fail what f =
+  Alcotest.failf "%s: %s" what (Guard.failure_to_string f)
+
+(* --- partition ------------------------------------------------------- *)
+
+let test_partition () =
+  let check_tiling ~n ~shards =
+    let ranges = Shardexec.partition ~n ~shards in
+    let widths = List.map (fun { Shardexec.lo; hi } -> hi - lo) ranges in
+    check int_c
+      (Printf.sprintf "n=%d shards=%d: count" n shards)
+      (min shards n) (List.length ranges);
+    check int_c
+      (Printf.sprintf "n=%d shards=%d: total width" n shards)
+      n
+      (List.fold_left ( + ) 0 widths);
+    List.iter (fun w -> if w < 1 then Alcotest.fail "empty shard") widths;
+    (match (List.sort compare widths, List.rev (List.sort compare widths)) with
+    | smallest :: _, largest :: _ ->
+        if largest - smallest > 1 then
+          Alcotest.failf "unbalanced partition: widths differ by %d"
+            (largest - smallest)
+    | _ -> ());
+    ignore
+      (List.fold_left
+         (fun at { Shardexec.lo; hi } ->
+           check int_c "contiguous" at lo;
+           hi)
+         0 ranges)
+  in
+  List.iter
+    (fun (n, shards) -> check_tiling ~n ~shards)
+    [ (1, 1); (7, 3); (8, 4); (24, 6); (5, 9); (100, 7); (0, 3) ];
+  (match Shardexec.partition ~n:(-1) ~shards:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n must be rejected");
+  match Shardexec.partition ~n:4 ~shards:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards 0 must be rejected"
+
+(* --- merge determinism (satellite: completion order must not matter) - *)
+
+let test_merge_determinism () =
+  let n = 23 in
+  (* Mimic a post-quarantine result set: the initial partition with
+     some shards bisected into uneven halves. *)
+  let parts =
+    List.concat_map
+      (fun ({ Shardexec.lo; hi } as r) ->
+        if hi - lo >= 3 then
+          [ { Shardexec.lo; hi = lo + 1 }; { Shardexec.lo = lo + 1; hi } ]
+        else [ r ])
+      (Shardexec.partition ~n ~shards:7)
+  in
+  let results = List.map (fun r -> (r, slice r)) parts in
+  let reference = Shardexec.merge_results ~merge:( @ ) results in
+  check bool_c "range-ordered merge equals the sequential slice" true
+    (reference = slice { Shardexec.lo = 0; hi = n });
+  let reference = bytes_of reference in
+  for seed = 1 to 1000 do
+    let draw = xorshift seed in
+    let shuffled =
+      List.map (fun x -> (draw (), x)) results
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map snd
+    in
+    let merged = Shardexec.merge_results ~merge:( @ ) shuffled in
+    if bytes_of merged <> reference then
+      Alcotest.failf "completion order (seed %d) changed the merged result"
+        seed
+  done
+
+let test_merge_rejects_bad_tilings () =
+  let r lo hi = ({ Shardexec.lo; hi }, [ lo; hi ]) in
+  let rejects what results =
+    match Shardexec.merge_results ~merge:( @ ) results with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s must be rejected" what
+  in
+  rejects "empty result set" [];
+  rejects "gap" [ r 0 2; r 3 5 ];
+  rejects "overlap" [ r 0 3; r 2 5 ];
+  rejects "duplicate shard" [ r 0 2; r 0 2; r 2 4 ]
+
+(* --- sequential fallback --------------------------------------------- *)
+
+let test_sequential_fallback () =
+  let expected = slice { Shardexec.lo = 0; hi = 6 } in
+  List.iter
+    (fun plan ->
+      match Shardexec.run ~plan ~n:6 ~compute:slice ~merge:( @ ) () with
+      | Ok v -> check bool_c "fallback equals sequential" true (v = expected)
+      | Error f -> failure_fail "sequential fallback" f)
+    [
+      Shardexec.plan ~shards:1 ();
+      Shardexec.plan ~shards:4 ~workers:1 ();
+    ];
+  (* n <= 1 falls back too, whatever the plan. *)
+  match
+    Shardexec.run
+      ~plan:(Shardexec.plan ~shards:4 ())
+      ~n:1 ~compute:slice ~merge:( @ ) ()
+  with
+  | Ok v ->
+      check bool_c "n=1 fallback" true (v = slice { Shardexec.lo = 0; hi = 1 })
+  | Error f -> failure_fail "n=1 fallback" f
+
+(* --- clean sharded run ----------------------------------------------- *)
+
+let test_clean_run () =
+  let n = 24 in
+  let expected = bytes_of (slice { Shardexec.lo = 0; hi = n }) in
+  match
+    Shardexec.run
+      ~plan:(Shardexec.plan ~shards:6 ~workers:3 ())
+      ~n ~compute:slice ~merge:( @ ) ()
+  with
+  | Error f -> failure_fail "clean sharded run" f
+  | Ok v ->
+      check string_c "byte-identical to sequential" expected (bytes_of v);
+      let events = Shardexec.journal () in
+      let completed =
+        List.length
+          (List.filter
+             (function Shardexec.Completed _ -> true | _ -> false)
+             events)
+      in
+      check int_c "every shard journaled a completion" 6 completed;
+      no_zombies ()
+
+(* --- the 260-seed SIGKILL sweep -------------------------------------- *)
+
+(* Per seed: run the sharded computation while shooting up to three
+   workers from the [on_spawn] hook, at seed-determined spawn points.
+   Three kills against width-4 shards cannot reach poison isolation
+   (that takes six deaths on one shard lineage), so every run must
+   recover — requeue or bisect — and the verdict must stay
+   byte-identical to the sequential slice. *)
+let test_kill_sweep () =
+  let n = 24 and shards = 6 in
+  let expected = bytes_of (slice { Shardexec.lo = 0; hi = n }) in
+  let total_sent = ref 0 in
+  for seed = 1 to 260 do
+    let draw = xorshift (seed * 7919) in
+    let kills_left = ref (1 + (draw () mod 3)) in
+    let on_spawn ~pid ~shard:_ =
+      if !kills_left > 0 && draw () mod 3 = 0 then begin
+        decr kills_left;
+        incr total_sent;
+        try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+      end
+    in
+    (match
+       Shardexec.run
+         ~plan:(Shardexec.plan ~shards ~workers:3 ())
+         ~on_spawn ~n ~compute:slice ~merge:( @ ) ()
+     with
+    | Error f ->
+        Alcotest.failf "seed %d: run failed under kills: %s" seed
+          (Guard.failure_to_string f)
+    | Ok v ->
+        if bytes_of v <> expected then
+          Alcotest.failf "seed %d: verdict not byte-identical after kills"
+            seed);
+    no_zombies ();
+    match Runtime_state.validate_all () with
+    | [] -> ()
+    | bad ->
+        Alcotest.failf "seed %d: invalid runtime state: %s" seed
+          (String.concat ", " bad)
+  done;
+  (* A kill can race a fast worker's clean exit, so observed deaths
+     are bounded by signals sent — but across 260 seeds most must
+     land, or the sweep is not exercising recovery at all. *)
+  let observed = (Shardexec.stats ()).Shardexec.kills in
+  if observed > !total_sent then
+    Alcotest.failf "more deaths observed (%d) than signals sent (%d)" observed
+      !total_sent;
+  if observed < !total_sent / 2 then
+    Alcotest.failf "only %d of %d kills landed: sweep too weak" observed
+      !total_sent
+
+(* --- quarantine and poison isolation --------------------------------- *)
+
+let test_poison_isolated () =
+  let poison = 5 in
+  let compute ({ Shardexec.lo; hi } as r) =
+    if lo <= poison && poison < hi then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    slice r
+  in
+  (match
+     Shardexec.run
+       ~plan:(Shardexec.plan ~shards:2 ~workers:2 ())
+       ~n:8 ~compute ~merge:( @ ) ()
+   with
+  | Ok _ -> Alcotest.fail "a poisoned run cannot succeed"
+  | Error (Guard.Solver_error msg) ->
+      let wanted = Printf.sprintf "poison unit %d" poison in
+      let rec contains i =
+        i + String.length wanted <= String.length msg
+        && (String.sub msg i (String.length wanted) = wanted
+           || contains (i + 1))
+      in
+      if not (contains 0) then
+        Alcotest.failf "poison report does not name unit %d: %S" poison msg
+  | Error f -> failure_fail "expected Solver_error" f);
+  let events = Shardexec.journal () in
+  let bisections =
+    List.length
+      (List.filter (function Shardexec.Bisected _ -> true | _ -> false) events)
+  in
+  if bisections < 2 then
+    Alcotest.failf "expected >= 2 bisections on the way to width 1, saw %d"
+      bisections;
+  (match
+     List.find_opt (function Shardexec.Poison _ -> true | _ -> false) events
+   with
+  | Some (Shardexec.Poison (u, _)) -> check int_c "poisoned unit" poison u
+  | _ -> Alcotest.fail "no Poison event journaled");
+  no_zombies ()
+
+(* --- speculation ----------------------------------------------------- *)
+
+let test_speculation () =
+  let flag = Filename.temp_file "shardexec_spec" ".flag" in
+  Sys.remove flag;
+  let straggler = 7 in
+  (* The straggler's worker wedges until the flag file appears; the
+     parent creates it only once the speculative duplicate has been
+     forked, so both copies then race to finish. *)
+  let compute ({ Shardexec.lo; _ } as r) =
+    if lo = straggler then begin
+      let waited = ref 0.0 in
+      while (not (Sys.file_exists flag)) && !waited < 20.0 do
+        Unix.sleepf 0.01;
+        waited := !waited +. 0.01
+      done
+    end;
+    slice r
+  in
+  let spawns = Hashtbl.create 8 in
+  let on_spawn ~pid:_ ~shard =
+    let k = shard.Shardexec.lo in
+    let c = (try Hashtbl.find spawns k with Not_found -> 0) + 1 in
+    Hashtbl.replace spawns k c;
+    if k = straggler && c >= 2 then begin
+      let oc = open_out flag in
+      close_out oc
+    end
+  in
+  let finish () = if Sys.file_exists flag then Sys.remove flag in
+  Fun.protect ~finally:finish (fun () ->
+      match
+        Shardexec.run
+          ~plan:(Shardexec.plan ~shards:8 ~workers:4 ~speculate:true ())
+          ~budget:(Budget.make ~timeout:30.0 ())
+          ~on_spawn ~n:8 ~compute ~merge:( @ ) ()
+      with
+      | Error f -> failure_fail "speculative run" f
+      | Ok v ->
+          check bool_c "verdict unaffected by speculation" true
+            (v = slice { Shardexec.lo = 0; hi = 8 });
+          let events = Shardexec.journal () in
+          let speculated =
+            List.exists
+              (function
+                | Shardexec.Speculated r -> r.Shardexec.lo = straggler
+                | _ -> false)
+              events
+          and resolved =
+            List.exists
+              (function
+                | Shardexec.Spec_resolved (r, _) -> r.Shardexec.lo = straggler
+                | _ -> false)
+              events
+          in
+          check bool_c "Speculated journaled" true speculated;
+          check bool_c "Spec_resolved journaled" true resolved;
+          no_zombies ())
+
+(* --- fork hygiene: parent caches cannot leak into shard verdicts ----- *)
+
+(* A scratch cache and a scratch configuration knob, registered like
+   any solver cache. Children must come up with the cache reset to
+   its pristine value even when the parent's copy is corrupted — and
+   must keep the configuration, which is deliberate state, not
+   cache. *)
+let scratch_cache = ref 0
+let scratch_knob = ref 1
+
+let () =
+  Runtime_state.register ~name:"test_shardexec.scratch_cache"
+    ~validate:(fun () -> !scratch_cache >= 0)
+    (fun () -> scratch_cache := 0);
+  Runtime_state.register ~name:"test_shardexec.scratch_knob" ~kind:`Config
+    (fun () -> scratch_knob := 1)
+
+let test_fork_drops_parent_caches () =
+  scratch_cache := 42;
+  (* corrupted parent cache *)
+  scratch_knob := 7;
+  (* deliberate configuration *)
+  let finish () =
+    scratch_cache := 0;
+    scratch_knob := 1
+  in
+  Fun.protect ~finally:finish (fun () ->
+      match
+        Shardexec.run
+          ~plan:(Shardexec.plan ~shards:2 ~workers:2 ())
+          ~n:4
+          ~compute:(fun { Shardexec.lo; hi } ->
+            List.init (hi - lo) (fun k ->
+                (lo + k, !scratch_cache, !scratch_knob)))
+          ~merge:( @ ) ()
+      with
+      | Error f -> failure_fail "fork hygiene run" f
+      | Ok units ->
+          check int_c "all units computed" 4 (List.length units);
+          List.iter
+            (fun (_, cache, knob) ->
+              check int_c "corrupted cache reset in the child" 0 cache;
+              check int_c "configuration survives the fork" 7 knob)
+            units;
+          check int_c "parent cache untouched by the run" 42 !scratch_cache;
+          no_zombies ())
+
+(* --- sharded solver clients agree with their sequential selves ------- *)
+
+let sample_specs =
+  [
+    { nodes = 6; edges = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ];
+      unary = [ 0; 2; 4 ] };
+    { nodes = 8;
+      edges = [ (0, 1); (1, 0); (2, 3); (3, 2); (4, 5); (6, 7); (7, 4) ];
+      unary = [ 1; 3; 5; 7 ] };
+    { nodes = 5; edges = [ (0, 0); (1, 2); (2, 1); (3, 4) ]; unary = [] };
+  ]
+
+let sample_trainings =
+  List.concat_map
+    (fun spec ->
+      [ training_of_labeled { spec; mask = 0b010101 };
+        training_of_labeled { spec; mask = 0b110010 } ])
+    sample_specs
+
+let plans = [ Shardexec.plan ~shards:2 (); Shardexec.plan ~shards:5 () ]
+
+let test_atoms_sep_clients () =
+  List.iteri
+    (fun i t ->
+      let seq_stat = Atoms_sep.pruned_features ~m:2 t in
+      let seq_sep = Atoms_sep.separable ~m:2 t in
+      let seq_min = Atoms_sep.min_errors ~m:1 t in
+      List.iteri
+        (fun j sharding ->
+          let ctx fmt = Printf.sprintf "t%d plan%d: %s" i j fmt in
+          (match Atoms_sep.pruned_features_sharded ~sharding ~m:2 t with
+          | Ok s ->
+              check string_c (ctx "pruned_features bytes") (bytes_of seq_stat)
+                (bytes_of s)
+          | Error f -> failure_fail (ctx "pruned_features_sharded") f);
+          (match Atoms_sep.separable_sharded ~sharding ~m:2 t with
+          | Ok b -> check bool_c (ctx "separable") seq_sep b
+          | Error f -> failure_fail (ctx "separable_sharded") f);
+          match Atoms_sep.min_errors_sharded ~sharding ~m:1 t with
+          | Ok me ->
+              check bool_c (ctx "min_errors agrees") true (me = seq_min)
+          | Error f -> failure_fail (ctx "min_errors_sharded") f)
+        plans;
+      no_zombies ())
+    sample_trainings
+
+let test_dim_sep_clients () =
+  let cq2 = Language.Cq_atoms { m = 2; p = None } in
+  List.iteri
+    (fun i t ->
+      let seq_sets = Dim_sep.realizable_sets cq2 t in
+      let seq_sep = Dim_sep.separable ~dim:2 cq2 t in
+      List.iteri
+        (fun j sharding ->
+          let ctx fmt = Printf.sprintf "t%d plan%d: %s" i j fmt in
+          (match Dim_sep.realizable_sets_sharded ~sharding cq2 t with
+          | Ok sets ->
+              (* Marshal bytes are oversensitive here: sets that
+                 crossed the worker boundary lose string sharing, so
+                 compare set-by-set instead. *)
+              check int_c (ctx "realizable_sets count")
+                (List.length seq_sets) (List.length sets);
+              check bool_c (ctx "realizable_sets agree") true
+                (List.for_all2 Elem.Set.equal seq_sets sets)
+          | Error f -> failure_fail (ctx "realizable_sets_sharded") f);
+          match Dim_sep.separable_sharded ~sharding ~dim:2 cq2 t with
+          | Ok b -> check bool_c (ctx "dim separable") seq_sep b
+          | Error f -> failure_fail (ctx "dim separable_sharded") f)
+        plans;
+      no_zombies ())
+    sample_trainings
+
+(* Clean in-worker resource failures: under a chaos-armed budget the
+   sharded client must either recover through its escalating retries
+   and agree byte-for-byte with the sequential answer, or fail with a
+   structured resource failure — never hang, never leak a child,
+   never return a divergent answer. *)
+let test_chaos_budget_attempts () =
+  let t = List.hd sample_trainings in
+  let expected = bytes_of (Atoms_sep.pruned_features ~m:2 t) in
+  for seed = 1 to 40 do
+    let budget = Budget.make ~fuel:2_000_000 ~chaos:(seed, 0.0002) () in
+    (match
+       Atoms_sep.pruned_features_sharded
+         ~sharding:(Shardexec.plan ~shards:4 ())
+         ~budget ~m:2 t
+     with
+    | Ok s ->
+        if bytes_of s <> expected then
+          Alcotest.failf "chaos seed %d: recovered run diverged" seed
+    | Error (Guard.Timeout | Guard.Fuel_exhausted _ | Guard.Limit_exceeded _)
+      ->
+        ()
+    | Error (Guard.Solver_error msg) ->
+        Alcotest.failf "chaos seed %d: non-resource failure: %s" seed msg);
+    no_zombies ()
+  done
+
+(* --- the ladder's sharded rungs -------------------------------------- *)
+
+(* Force the exact rung to fail so the ladder descends into the CQ[m]
+   rungs, which with [~sharding] bypass the runner and fan out; the
+   degraded answers must match the sequential solvers and be
+   invariant to the shard count. *)
+let failing_runner =
+  { Guard.run = (fun _ _ -> Error (Guard.Fuel_exhausted "forced failure")) }
+
+let test_ladder_sharded_rungs () =
+  List.iter
+    (fun t ->
+      let sharded shards =
+        Cq_sep.decide_with_fallback ~runner:failing_runner ~rungs:[ 2 ]
+          ~sharding:(Shardexec.plan ~shards ())
+          t
+      in
+      let r2 = sharded 2 and r5 = sharded 5 in
+      check bool_c "shard count cannot move the ladder answer" true
+        (r2.Cq_sep.answer = r5.Cq_sep.answer
+        && r2.Cq_sep.provenance = r5.Cq_sep.provenance);
+      (match r2.Cq_sep.provenance with
+      | Cq_sep.Degraded _ ->
+          check bool_c "degraded rung answers the sequential CQ[2] verdict"
+            true
+            (r2.Cq_sep.answer = Some (Atoms_sep.separable ~m:2 t))
+      | Cq_sep.Approximate _ -> (
+          (* the CQ[2] rung refuted, so the ladder fell through to the
+             sharded slack rung *)
+          match Atoms_sep.min_errors ~m:1 t with
+          | Some (0, _, _) ->
+              check bool_c "zero slack certifies separability" true
+                (r2.Cq_sep.answer = Some true)
+          | _ -> ())
+      | p ->
+          Alcotest.failf "expected a degraded/approximate rung, got %s"
+            (Format.asprintf "%a" Cq_sep.pp_provenance p));
+      no_zombies ())
+    sample_trainings
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "shardexec"
+    [
+      ( "partition and merge",
+        [
+          Alcotest.test_case "partition tiles and balances" `Quick
+            test_partition;
+          Alcotest.test_case "merge invariant to 1000 completion orders"
+            `Quick test_merge_determinism;
+          Alcotest.test_case "merge rejects bad tilings" `Quick
+            test_merge_rejects_bad_tilings;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sequential fallback" `Quick
+            test_sequential_fallback;
+          Alcotest.test_case "clean sharded run" `Quick test_clean_run;
+          Alcotest.test_case "260-seed SIGKILL sweep" `Slow test_kill_sweep;
+          Alcotest.test_case "poison unit isolated by bisection" `Quick
+            test_poison_isolated;
+          Alcotest.test_case "straggler speculation" `Quick test_speculation;
+          Alcotest.test_case "fork drops parent caches, keeps config" `Quick
+            test_fork_drops_parent_caches;
+        ] );
+      ( "solver clients",
+        [
+          Alcotest.test_case "Atoms_sep sharded = sequential" `Quick
+            test_atoms_sep_clients;
+          Alcotest.test_case "Dim_sep sharded = sequential" `Quick
+            test_dim_sep_clients;
+          Alcotest.test_case "chaos budgets: agree or fail structurally"
+            `Quick test_chaos_budget_attempts;
+          Alcotest.test_case "ladder rungs shard transparently" `Quick
+            test_ladder_sharded_rungs;
+        ] );
+    ]
