@@ -38,9 +38,16 @@ let record ~file key v =
   bucket := (key, v) :: !bucket
 
 let write_trajectories () =
+  (* Keys are emitted sorted, not in recording order, so the committed
+     BENCH_*.json baselines diff deterministically no matter which
+     experiment subset ran or in what order it recorded. *)
   let files =
     List.sort compare
-      (Hashtbl.fold (fun f b acc -> (f, List.rev !b) :: acc) trajectories [])
+      (Hashtbl.fold
+         (fun f b acc ->
+           (f, List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !b))
+           :: acc)
+         trajectories [])
   in
   let files =
     match (files, Sys.getenv_opt "BENCH_OUT") with
@@ -812,8 +819,14 @@ let bench_lint_typed () =
              (fun (s : Typed_rules.source) -> (s.Typed_rules.s_mod, s.s_impl))
              srcs)
       in
+      let impls srcs =
+        List.map
+          (fun (s : Typed_rules.source) -> (s.Typed_rules.s_mod, s.s_impl))
+          srcs
+      in
       let g = build sources in
       let findings = Typed_rules.run g sources in
+      let tnt = Taint.analyze g (impls sources) in
       Bench_util.row [ (16, "phase"); (14, "time") ];
       Bench_util.rule ();
       let phase name thunk =
@@ -821,11 +834,24 @@ let bench_lint_typed () =
           Bench_util.time_ns ~name (fun () ->
               ignore (Sys.opaque_identity (thunk ())))
         in
-        Bench_util.row [ (16, name); (14, Bench_util.pp_ns ns) ]
+        Bench_util.row [ (16, name); (14, Bench_util.pp_ns ns) ];
+        ns
       in
-      phase "cmt_load" load;
-      phase "graph_build" (fun () -> build sources);
-      phase "rule_eval" (fun () -> Typed_rules.run g sources);
+      let _ = phase "cmt_load" load in
+      let _ = phase "graph_build" (fun () -> build sources) in
+      let rules_ns = phase "rule_eval" (fun () -> Typed_rules.run g sources) in
+      let taint_ns = phase "taint_analyze" (fun () -> Taint.analyze g (impls sources)) in
+      let proto_ns =
+        phase "protocol_eval" (fun () ->
+            Protocol_rules.run
+              ~rules:[ Lint_finding.R12; Lint_finding.R13; Lint_finding.R14 ]
+              tnt g sources)
+      in
+      (* The gate metric is a ratio of two walks over the same typed
+         trees, so machine speed cancels; it locks the taint pass to
+         the same order of magnitude as the R1-R10 rules. *)
+      record ~file:"BENCH_runtime.json" "lint_taint_vs_rules_ratio"
+        ((taint_ns +. proto_ns) /. rules_ns);
       Printf.printf "  (%d modules, %d graph nodes, %d findings pre-filter)\n"
         (List.length sources) (Callgraph.size g) (List.length findings)
 
@@ -1181,16 +1207,22 @@ let () =
   print_endline
     "Each experiment regenerates the complexity/size shape of a paper \
      claim; ids match DESIGN.md.";
-  (* BENCH_ONLY=<substring> runs the matching experiments only. *)
+  (* BENCH_ONLY=<substring>[,<substring>...] runs the experiments
+     matching any of the comma-separated patterns. *)
   let selected =
     match Sys.getenv_opt "BENCH_ONLY" with
     | None -> experiments
-    | Some pat ->
+    | Some pats ->
+        let pats =
+          List.filter (fun p -> p <> "") (String.split_on_char ',' pats)
+        in
+        let matches pat id =
+          let li = String.length id and lp = String.length pat in
+          let rec at i = i + lp <= li && (String.sub id i lp = pat || at (i + 1)) in
+          at 0
+        in
         List.filter
-          (fun (id, _) ->
-            let li = String.length id and lp = String.length pat in
-            let rec at i = i + lp <= li && (String.sub id i lp = pat || at (i + 1)) in
-            at 0)
+          (fun (id, _) -> List.exists (fun p -> matches p id) pats)
           experiments
   in
   List.iter (fun (_, bench) -> bench ()) selected;

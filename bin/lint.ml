@@ -6,8 +6,9 @@
 
 let usage =
   "cqlint [--root DIR] [--rules R1,R2,...] [--baseline FILE] \
-   [--strict-baseline] [--no-typed] [--dump-callgraph] [--par-report] \
-   [--json] [--sarif FILE] [--write-baseline] [--quiet]"
+   [--strict-baseline] [--no-typed] [--dump-callgraph] [--dot] \
+   [--par-report] [--taint-report] [--json] [--sarif FILE] \
+   [--write-baseline] [--quiet]"
 
 let () =
   let root = ref "." in
@@ -17,6 +18,8 @@ let () =
   let typed = ref true in
   let dump_callgraph = ref false in
   let par_report = ref false in
+  let taint_report = ref false in
+  let dot = ref false in
   let json = ref false in
   let sarif = ref None in
   let write_baseline = ref false in
@@ -40,7 +43,7 @@ let () =
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ( "--rules",
         Arg.String set_rules,
-        "R1,R2,... enable only these rules (default: all of R1-R11)" );
+        "R1,R2,... enable only these rules (default: all of R1-R14)" );
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE grandfather the findings listed (with reasons) in FILE" );
@@ -56,9 +59,15 @@ let () =
       ( "--dump-callgraph",
         Arg.Set dump_callgraph,
         " print the whole-library call graph and exit" );
+      ( "--dot",
+        Arg.Set dot,
+        " with --dump-callgraph: emit Graphviz of the SCC condensation" );
       ( "--par-report",
         Arg.Set par_report,
         " print the shard-safety report (docs/SHARD_SAFETY.md) and exit" );
+      ( "--taint-report",
+        Arg.Set taint_report,
+        " print the exactness-boundary report (docs/EXACTNESS.md) and exit" );
       ("--json", Arg.Set json, " emit findings as a JSON array");
       ( "--sarif",
         Arg.String (fun f -> sarif := Some f),
@@ -88,15 +97,24 @@ let () =
       typed = !typed;
     }
   in
-  if !dump_callgraph then begin
+  if !dump_callgraph || !dot then begin
     match Lint_driver.callgraph config with
     | Error msg ->
         Printf.eprintf "cqlint: internal error: %s\n" msg;
         exit 2
     | Ok g ->
         let buf = Buffer.create 4096 in
-        Callgraph.dump g buf;
+        (if !dot then Callgraph.dump_dot else Callgraph.dump) g buf;
         print_string (Buffer.contents buf);
+        exit 0
+  end;
+  if !taint_report then begin
+    match Lint_driver.taint_report config with
+    | Error msg ->
+        Printf.eprintf "cqlint: internal error: %s\n" msg;
+        exit 2
+    | Ok text ->
+        print_string text;
         exit 0
   end;
   if !par_report then begin

@@ -478,6 +478,59 @@ let reachers ?(depth = 64) g ~target =
 
 let reaches ?depth g ~target src = (reachers ?depth g ~target) src
 
+(* Graphviz rendering of the SCC condensation: one box per SCC
+   (labelled with up to three member names), one edge per inter-SCC
+   mention. Externals are elided — they are leaves by construction and
+   double the node count. Everything is sorted, so the output is
+   byte-deterministic. *)
+let dump_dot g buf =
+  let members = Array.make g.g_scc_count [] in
+  Array.iter
+    (fun node ->
+      if node.kind <> External then
+        let s = g.g_scc_of.(node.id) in
+        members.(s) <- node.name :: members.(s))
+    g.g_nodes;
+  Buffer.add_string buf "digraph cqlint {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iteri
+    (fun s names ->
+      match List.sort String.compare names with
+      | [] -> ()
+      | sorted ->
+          let shown = List.filteri (fun i _ -> i < 3) sorted in
+          let extra = List.length sorted - List.length shown in
+          let label =
+            String.concat "\\n" shown
+            ^ (if extra > 0 then Printf.sprintf "\\n(+%d more)" extra else "")
+          in
+          let attrs =
+            if g.g_scc_cyclic.(s) then ", style=bold, color=firebrick"
+            else ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  s%d [label=\"%s\"%s];\n" s label attrs))
+    members;
+  let edges = Hashtbl.create 256 in
+  Array.iteri
+    (fun v ws ->
+      if g.g_nodes.(v).kind <> External then
+        List.iter
+          (fun w ->
+            if g.g_nodes.(w).kind <> External then begin
+              let sv = g.g_scc_of.(v) and sw = g.g_scc_of.(w) in
+              if sv <> sw then Hashtbl.replace edges (sv, sw) ()
+            end)
+          ws)
+    g.g_succs;
+  let sorted_edges =
+    List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+  in
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  s%d -> s%d;\n" a b))
+    sorted_edges;
+  Buffer.add_string buf "}\n"
+
 let dump g buf =
   let ns = Array.copy g.g_nodes in
   Array.sort (fun a b -> String.compare a.name b.name) ns;

@@ -92,6 +92,12 @@ val dump : t -> Buffer.t -> unit
 (** Deterministic (name-sorted) textual dump of definitions, loops and
     their resolved edges, for [--dump-callgraph]. *)
 
+val dump_dot : t -> Buffer.t -> unit
+(** Graphviz rendering of the SCC condensation ([--dump-callgraph
+    --dot]): one box per SCC labelled with up to three member names
+    (cyclic SCCs bold), one edge per inter-SCC mention, externals
+    elided. Deterministic, for diffing taint-path findings. *)
+
 (**/**)
 
 val local_key : Path.t -> string option

@@ -314,6 +314,21 @@ let par_report config =
       let eff = Effects.analyze g (impls_of srcs) in
       Ok (Shard_report.generate g eff srcs)
 
+let taint_report_file = "docs/EXACTNESS.md"
+
+let taint_report config =
+  let* dirs = scan_dirs config.root in
+  let sources, _ = load_typed ~root:config.root dirs in
+  match sources with
+  | [] ->
+      Error
+        "no typed input: run `dune build` first so .cmt files exist under \
+         _build"
+  | srcs ->
+      let g = build_graph srcs in
+      let tnt = Taint.analyze g (impls_of srcs) in
+      Ok (Protocol_rules.exactness_report tnt g srcs)
+
 (* R11 lives here rather than in [Typed_rules]: drift is a property of
    the lint root (the committed file), not of the typed trees. The
    finding attaches to the report file itself, which is never scanned,
@@ -342,6 +357,31 @@ let r11_drift config g eff srcs =
            -- --root . --par-report > docs/SHARD_SAFETY.md` and review which \
            entry points gained or lost shard-safety before committing"
 
+(* Same committed-report discipline for the exactness boundary: R11
+   with key [drift:taint-report] against [docs/EXACTNESS.md]. *)
+let r11_taint_drift config tnt g srcs =
+  let want = Protocol_rules.exactness_report tnt g srcs in
+  let mk msg =
+    [
+      Lint_finding.v ~rule:Lint_finding.R11 ~file:taint_report_file ~line:1
+        ~col:0 ~key:"drift:taint-report" msg;
+    ]
+  in
+  match read_file (Filename.concat config.root taint_report_file) with
+  | Error _ ->
+      mk
+        "the exactness report is missing: generate it with `dune exec \
+         bin/lint.exe -- --root . --taint-report > docs/EXACTNESS.md` and \
+         commit it"
+  | Ok have ->
+      if have = want then []
+      else
+        mk
+          "the exactness report is stale: an entry point's taint verdict \
+           changed; regenerate with `dune exec bin/lint.exe -- --root . \
+           --taint-report > docs/EXACTNESS.md` and review which entry \
+           points moved across the exactness boundary before committing"
+
 (* --- the tree run ----------------------------------------------------- *)
 
 let run config =
@@ -364,11 +404,34 @@ let run config =
     | srcs ->
         let g = build_graph srcs in
         let eff = Effects.analyze g (impls_of srcs) in
+        (* The taint pass feeds both the protocol rules and the
+           exactness half of R11's drift check; compute it once, and
+           only when something enabled wants it. *)
+        let need_taint =
+          List.exists
+            (fun r -> List.mem r config.rules)
+            [
+              Lint_finding.R11; Lint_finding.R12; Lint_finding.R13;
+              Lint_finding.R14;
+            ]
+        in
+        let tnt =
+          if need_taint then Some (Taint.analyze g (impls_of srcs)) else None
+        in
+        let proto =
+          match tnt with
+          | Some tnt -> Protocol_rules.run ~rules:config.rules tnt g srcs
+          | None -> []
+        in
         ( List.filter
             (fun (f : Lint_finding.t) -> List.mem f.rule config.rules)
-            (Typed_rules.run ~effects:eff g srcs),
+            (Typed_rules.run ~effects:eff g srcs)
+          @ proto,
           if List.mem Lint_finding.R11 config.rules then
             r11_drift config g eff srcs
+            @ (match tnt with
+              | Some tnt -> r11_taint_drift config tnt g srcs
+              | None -> [])
           else [] )
   in
   let typed_by_file = Hashtbl.create 32 in

@@ -73,6 +73,12 @@ val par_report : config -> (string, string) result
     tree under [root] — the exact bytes R11 expects to find committed
     at [docs/SHARD_SAFETY.md]. [Error] when no cmts are loadable. *)
 
+val taint_report : config -> (string, string) result
+(** Generate the exactness-boundary report
+    ({!Protocol_rules.exactness_report}) — the exact bytes R11 expects
+    committed at [docs/EXACTNESS.md]. [Error] when no cmts are
+    loadable. *)
+
 type baseline_entry = {
   b_rule : Lint_finding.rule;
   b_file : string;

@@ -1,6 +1,22 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10 | R11
+type rule =
+  | R0
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11 ]
+let all_rules =
+  [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13; R14 ]
 
 let rule_to_string = function
   | R0 -> "R0"
@@ -15,6 +31,9 @@ let rule_to_string = function
   | R9 -> "R9"
   | R10 -> "R10"
   | R11 -> "R11"
+  | R12 -> "R12"
+  | R13 -> "R13"
+  | R14 -> "R14"
 
 let rule_of_string = function
   | "R0" | "r0" -> Some R0
@@ -29,6 +48,9 @@ let rule_of_string = function
   | "R9" | "r9" -> Some R9
   | "R10" | "r10" -> Some R10
   | "R11" | "r11" -> Some R11
+  | "R12" | "r12" -> Some R12
+  | "R13" | "r13" -> Some R13
+  | "R14" | "r14" -> Some R14
   | _ -> None
 
 let rule_doc = function
@@ -65,8 +87,19 @@ let rule_doc = function
       "fork-time aliasing (typed): locally-created mutable state must not \
        escape across an Isolate.run/spawn or runner boundary"
   | R11 ->
-      "shard-safety drift: the committed docs/SHARD_SAFETY.md report must \
-       match what --par-report regenerates from the current tree"
+      "report drift: the committed docs/SHARD_SAFETY.md and \
+       docs/EXACTNESS.md reports must match what --par-report / \
+       --taint-report regenerate from the current tree"
+  | R12 ->
+      "float taint (typed): no uncertified float may reach a core/linsep \
+       entry point's return value or a serialized payload; \
+       Certify.hyperplane/farkas and exact Rat.of_float sanitize"
+  | R13 ->
+      "journal-before-ack (typed): client-observable service state changes \
+       and Ok acks must be dominated by a Wal.append on every path"
+  | R14 ->
+      "resource release (typed): Unix/channel/Isolate handles acquired in a \
+       function must be released (close/await/Fun.protect) on every path"
 
 type t = {
   rule : rule;

@@ -25,14 +25,22 @@ type rule =
             certified shard-safe *)
   | R10  (** fork-time aliasing (typed): local mutable state must not escape
              across an [Isolate]/runner boundary *)
-  | R11  (** shard-safety drift: committed [docs/SHARD_SAFETY.md] matches
-             [--par-report] regeneration *)
+  | R11  (** report drift: committed [docs/SHARD_SAFETY.md] /
+             [docs/EXACTNESS.md] match [--par-report] / [--taint-report]
+             regeneration *)
+  | R12  (** float taint (typed): no uncertified float reaches a
+             core/linsep entry point's return or a serialized payload;
+             [Certify.*] and exact [Rat.of_float] sanitize *)
+  | R13  (** journal-before-ack (typed): observable service state changes
+             and [Ok] acks are dominated by [Wal.append] on every path *)
+  | R14  (** resource release (typed): acquired Unix/channel/[Isolate]
+             handles are released on every path *)
 
 val all_rules : rule list
-(** [R1; ...; R11] — the toggleable rules ([R0] is always enabled).
-    [R6]-[R10] (and the interprocedural upgrade of [R1]) only fire when
-    the typed pass has [.cmt] input; [R11] additionally needs a lint
-    root with a [docs/] directory. *)
+(** [R1; ...; R14] — the toggleable rules ([R0] is always enabled).
+    [R6]-[R10] and [R12]-[R14] (and the interprocedural upgrade of
+    [R1]) only fire when the typed pass has [.cmt] input; [R11]
+    additionally needs a lint root with a [docs/] directory. *)
 
 val rule_to_string : rule -> string
 val rule_of_string : string -> rule option

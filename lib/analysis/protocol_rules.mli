@@ -1,0 +1,79 @@
+(** The protocol-discipline rules, evaluated over {!Taint}'s summaries
+    and dominance/release walks of the anchored bodies:
+
+    - {b R12} — float taint: the {!Taint} summary of every exported
+      [lib/core]/[lib/linsep] entry point must be clean (no
+      unsanitized float source reaches the returned verdict), and no
+      float-tainted value may flow into a serialization head
+      ([Model_io.save]/[to_string], [Wal.append]). The finding's
+      message carries the witness chain.
+    - {b R13} — journal-before-ack: inside [lib/service], every
+      mutation of a client-observable job field ([ji_state]) and every
+      [Ok] ack constructed by an ack entry point ([Service.submit])
+      must be dominated by a [Wal.append] on all paths — computed with
+      interprocedural "definitely journals" summaries, so journaling
+      through a helper ([Service.journal]) counts.
+    - {b R14} — resource release: a handle acquired by
+      [Unix.openfile]/[open_in*]/[open_out*]/[Unix.socket]/[accept]/
+      [Isolate.spawn] and bound locally must be released
+      ([close*]/[Isolate.await]/[kill]/[poll]) or guarded by a
+      [Fun.protect ~finally] that mentions it, on every syntactic
+      path. A handle that escapes — returned, stored in a structure,
+      aliased, or passed to a {e defined} function — is skipped (the
+      quiet direction); exception paths are Fun.protect's job and are
+      documented, not enforced.
+
+    The [?in_scope]/[?sink_scope] hooks exist for the compiled-fixture
+    tests, which live outside the default directory scopes.
+
+    The exactness report ({!exactness_report}) is the committed
+    [docs/EXACTNESS.md]: every core/linsep entry point labelled
+    [exact] (no float reachability at all), [certified] (floats below,
+    clean summary — the PR 6 numeric tier), or [TAINTED] with its
+    witness. [Lint_driver]'s R11 drift check keeps the committed copy
+    honest. *)
+
+val r12_float_taint :
+  ?sink_scope:(Typed_rules.source -> bool) ->
+  Taint.t ->
+  Callgraph.t ->
+  Typed_rules.source list ->
+  Lint_finding.t list
+
+val r13_journal :
+  ?in_scope:(Typed_rules.source -> bool) ->
+  ?ack_funs:string list ->
+  ?observable_fields:string list ->
+  Taint.t ->
+  Callgraph.t ->
+  Typed_rules.source list ->
+  Lint_finding.t list
+
+val r14_release :
+  ?in_scope:(Typed_rules.source -> bool) ->
+  Taint.t ->
+  Callgraph.t ->
+  Typed_rules.source list ->
+  Lint_finding.t list
+
+val run :
+  rules:Lint_finding.rule list ->
+  Taint.t ->
+  Callgraph.t ->
+  Typed_rules.source list ->
+  Lint_finding.t list
+(** The enabled subset of R12-R14 with default scopes, unfiltered and
+    unsorted — the driver merges these into the per-file stream before
+    suppression/baseline application. *)
+
+val exactness_report :
+  Taint.t -> Callgraph.t -> Typed_rules.source list -> string
+(** The byte-deterministic exactness-boundary report ([--taint-report],
+    committed as [docs/EXACTNESS.md]). *)
+
+(**/**)
+
+val serialization_heads : string list
+val acquire_heads : string list
+val release_heads : string list
+(** Sink/handle tables, exposed for tests. *)

@@ -1,0 +1,28 @@
+(* R13 fixture: journal-before-ack discipline. [journal] wraps
+   Wal.append, so domination must be credited interprocedurally;
+   [ack_bad] mutates observable state before journaling, [ack_branchy]
+   journals on only one path, [reply_early] constructs its Ok before
+   the append. [ack_good] is the disciplined shape. *)
+
+type job = { id : int; mutable ji_state : int }
+
+let journal (w : Wal.t) ev = Wal.append w ev
+
+let ack_bad w j =
+  j.ji_state <- 1;
+  journal w "started";
+  Ok j.id
+
+let ack_good w j =
+  journal w "started";
+  j.ji_state <- 1;
+  Ok j.id
+
+let ack_branchy w j b =
+  if b then journal w "started";
+  j.ji_state <- 1
+
+let reply_early w j =
+  let r = Ok j.id in
+  journal w "done";
+  r

@@ -1,0 +1,20 @@
+(* R14 fixture: handle release on all paths. [leak] closes on only
+   one branch; [ok_protect] uses the recommended Fun.protect shape;
+   [ok_branches] releases in both arms; [escaped] hands the fd out and
+   is therefore out of scope (the quiet direction). *)
+
+let leak path flag =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  if flag then Unix.close fd
+
+let ok_protect path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+
+let ok_branches path flag =
+  let oc = open_out path in
+  if flag then close_out oc else close_out_noerr oc
+
+let escaped path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Some fd

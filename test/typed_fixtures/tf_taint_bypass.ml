@@ -1,0 +1,17 @@
+(* Taint fixture: the acceptance-criterion negative — Nsep's numeric
+   path with the Certify.hyperplane call deleted. The float weights
+   flow into the verdict unconverted, so R12 must flag every entry
+   point on the chain. *)
+
+type verdict = Sep of float array | Unsep of string
+
+let well_conditioned w = Array.for_all (fun x -> Float.is_finite x) w
+
+let fit xs = Array.map (fun (x, y) -> float_of_int x +. y) xs
+
+let numeric_attempt xs =
+  let w = fit xs in
+  if well_conditioned w then Some (Sep w) else None
+
+let decide xs =
+  match numeric_attempt xs with Some v -> v | None -> Unsep "exact"

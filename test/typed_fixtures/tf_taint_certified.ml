@@ -1,0 +1,12 @@
+(* Taint fixture: the same float tier as tf_taint_leak, but the
+   candidate crosses the exactness boundary through Certify before it
+   can reach the caller — [decide]'s summary must be clean (and
+   float-touching: the "certified" report row). *)
+
+let fit xs = Array.map (fun x -> x *. 2.0) xs
+
+let decide xs =
+  let w = fit xs in
+  match Certify.hyperplane ~weights:w [] with
+  | Certify.Certified c -> Some c
+  | Certify.Refuted _ | Certify.Inconclusive _ -> None

@@ -1,0 +1,11 @@
+(* Taint fixture: an uncertified float-to-verdict path. [fit] returns
+   float-derived data, [decide] packs it straight into the verdict —
+   both summaries must come out tainted. *)
+
+type verdict = Sep of float array | Unsep
+
+let fit xs = Array.map (fun x -> x *. 2.0) xs
+
+let decide xs =
+  let w = fit xs in
+  if Array.length w > 0 then Sep w else Unsep

@@ -1,0 +1,8 @@
+(* Taint fixture: mutual recursion. The float literal enters in
+   [wait]; the SCC fixpoint must propagate it to [poll] and from there
+   to the non-recursive caller [report]. *)
+
+let rec poll n = if n = 0 then 0.0 else wait (n - 1)
+and wait n = poll (n - 1) +. 1.0
+
+let report n = poll n
