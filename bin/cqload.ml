@@ -1,0 +1,295 @@
+(* cqload — closed-loop load generator for cqserved's serving tier.
+
+   Forks N worker processes, each hammering CLASSIFY requests over the
+   daemon's Unix-domain socket for a fixed duration (one connection
+   per request, like any other client), then aggregates: accepted /
+   rejected / error counts, classifications per second, and latency
+   quantiles of the *accepted* requests — the number that must stay
+   bounded while the daemon sheds overload.
+
+   Rejects are data here, not failures: a REJECT overload line is the
+   daemon degrading as designed, and is counted separately from
+   errors (daemon unreachable, ERR replies).
+
+   Exit codes: 0 some requests were accepted, 3 none were, 5 internal
+   error. *)
+
+let reply_timeout = 5.0
+
+(* One CLASSIFY round trip; returns the raw reply line. Raises
+   [Failure] on connection or timeout problems. *)
+let request_once socket_path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+      | () -> ()
+      | exception Unix.Unix_error (err, _, _) ->
+          failwith (Unix.error_message err));
+      let payload = Bytes.of_string (line ^ "\n") in
+      let n = Bytes.length payload in
+      let rec send off =
+        if off < n then
+          match Unix.write fd payload off (n - off) with
+          | written -> send (off + written)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+          | exception Unix.Unix_error (err, _, _) ->
+              failwith (Unix.error_message err)
+      in
+      send 0;
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 1024 in
+      let deadline = Unix.gettimeofday () +. reply_timeout in
+      let rec recv () =
+        let wait = deadline -. Unix.gettimeofday () in
+        if wait <= 0.0 then failwith "reply timed out"
+        else
+          match Unix.select [ fd ] [] [] wait with
+          | [], _, _ -> failwith "reply timed out"
+          | _ -> begin
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Buffer.contents buf
+              | n -> begin
+                  match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+                  | Some i ->
+                      Buffer.add_subbytes buf chunk 0 i;
+                      Buffer.contents buf
+                  | None ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      recv ()
+                end
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+              | exception Unix.Unix_error (err, _, _) ->
+                  failwith (Unix.error_message err)
+            end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+      in
+      recv ())
+
+(* Entities per accepted reply, from the "hits=H cold=C" counters. *)
+let entities_of_reply rest =
+  let value_of prefix tok =
+    let lp = String.length prefix in
+    if String.length tok > lp && String.sub tok 0 lp = prefix then
+      int_of_string_opt (String.sub tok lp (String.length tok - lp))
+    else None
+  in
+  List.fold_left
+    (fun acc tok ->
+      match (value_of "hits=" tok, value_of "cold=" tok) with
+      | Some h, _ -> acc + h
+      | _, Some c -> acc + c
+      | None, None -> acc)
+    0
+    (String.split_on_char ' ' rest)
+
+type tally = {
+  mutable accepted : int;
+  mutable entities : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable latencies : int list;  (* ns, accepted requests only *)
+}
+
+let worker_loop socket_path line ~deadline out =
+  let t = { accepted = 0; entities = 0; rejected = 0; errors = 0; latencies = [] } in
+  while Unix.gettimeofday () < deadline do
+    let t0 = Unix.gettimeofday () in
+    (match request_once socket_path line with
+    | reply ->
+        let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        let tag =
+          match String.index_opt reply ' ' with
+          | None -> reply
+          | Some i -> String.sub reply 0 i
+        in
+        if tag = "OK" then begin
+          t.accepted <- t.accepted + 1;
+          t.entities <- t.entities + entities_of_reply reply;
+          t.latencies <- ns :: t.latencies
+        end
+        else if tag = "REJECT" then t.rejected <- t.rejected + 1
+        else t.errors <- t.errors + 1
+    | exception Failure _ ->
+        t.errors <- t.errors + 1;
+        (* Brief pause so an unreachable daemon is not probed in a
+           hot spin. *)
+        (try Unix.sleepf 0.01 with Unix.Unix_error _ -> ()))
+  done;
+  Printf.fprintf out "T %d %d %d %d\n" t.accepted t.entities t.rejected
+    t.errors;
+  List.iter (fun ns -> Printf.fprintf out "L %d\n" ns) t.latencies;
+  flush out
+
+let quantile sorted p =
+  match Array.length sorted with
+  | 0 -> 0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run socket db entities workers duration json =
+  let line =
+    "CLASSIFY db=" ^ Job.enc_value db
+    ^
+    match entities with
+    | None -> ""
+    | Some names -> " entities=" ^ Job.enc_value names
+  in
+  let deadline = Unix.gettimeofday () +. duration in
+  let spawn () =
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close r;
+        let code =
+          try
+            let out = Unix.out_channel_of_descr w in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr out)
+              (fun () -> worker_loop socket line ~deadline out);
+            0
+          with _ -> 5
+        in
+        exit code
+    | pid ->
+        Unix.close w;
+        (pid, r)
+  in
+  let children = List.init workers (fun _ -> spawn ()) in
+  let accepted = ref 0 and entities_n = ref 0 in
+  let rejected = ref 0 and errors = ref 0 in
+  let latencies = ref [] in
+  List.iter
+    (fun (pid, r) ->
+      let ic = Unix.in_channel_of_descr r in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              let line = input_line ic in
+              match String.split_on_char ' ' line with
+              | [ "T"; a; n; rj; e ] ->
+                  accepted := !accepted + int_of_string a;
+                  entities_n := !entities_n + int_of_string n;
+                  rejected := !rejected + int_of_string rj;
+                  errors := !errors + int_of_string e
+              | [ "L"; ns ] -> latencies := int_of_string ns :: !latencies
+              | _ -> ()
+            done
+          with End_of_file -> ());
+      ignore (Unix.waitpid [] pid))
+    children;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let cps = float_of_int !entities_n /. duration in
+  let p50 = quantile sorted 0.50
+  and p95 = quantile sorted 0.95
+  and p99 = quantile sorted 0.99 in
+  if json then
+    Printf.printf
+      "{\"workers\": %d, \"duration_s\": %g, \"accepted\": %d, \
+       \"entities\": %d, \"rejected\": %d, \"errors\": %d, \
+       \"classifications_per_sec\": %.1f, \"p50_ns\": %d, \"p95_ns\": %d, \
+       \"p99_ns\": %d}\n"
+      workers duration !accepted !entities_n !rejected !errors cps p50 p95 p99
+  else begin
+    Printf.printf "cqload: %d workers for %gs against %s\n" workers duration
+      socket;
+    Printf.printf "requests: %d accepted, %d rejected, %d errors\n" !accepted
+      !rejected !errors;
+    Printf.printf "classifications/sec: %.1f\n" cps;
+    Printf.printf "latency of accepted: p50 %.3fms p95 %.3fms p99 %.3fms\n"
+      (float_of_int p50 /. 1e6)
+      (float_of_int p95 /. 1e6)
+      (float_of_int p99 /. 1e6)
+  end;
+  if !accepted > 0 then 0 else 3
+
+(* --- CLI -------------------------------------------------------------- *)
+
+open Cmdliner
+
+let duration_of_string s0 =
+  let s = String.trim s0 in
+  let bad () =
+    Error
+      (`Msg
+        (Printf.sprintf "bad duration %S (expected e.g. 250ms, 2s, or plain seconds)" s0))
+  in
+  let ends_with suffix =
+    let ls = String.length s and lx = String.length suffix in
+    ls > lx && String.sub s (ls - lx) lx = suffix
+  in
+  let scaled scale suffix =
+    let num = String.sub s 0 (String.length s - String.length suffix) in
+    match float_of_string_opt (String.trim num) with
+    | Some f when f >= 0.0 -> Ok (f *. scale)
+    | _ -> bad ()
+  in
+  if s = "" then bad ()
+  else if ends_with "us" then scaled 1e-6 "us"
+  else if ends_with "ms" then scaled 1e-3 "ms"
+  else if ends_with "s" then scaled 1.0 "s"
+  else
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 -> Ok f
+    | _ -> bad ()
+
+let duration_conv =
+  Arg.conv (duration_of_string, fun fmt secs -> Format.fprintf fmt "%gs" secs)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"The daemon's socket path.")
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db" ] ~docv:"PATH"
+        ~doc:"Database file (textfmt), as a path visible to the daemon.")
+
+let entities_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "entities" ] ~docv:"A,B,C"
+        ~doc:"Comma-separated entity names (default: all entities).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Concurrent closed-loop client processes (default 4).")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt duration_conv 2.0
+    & info [ "duration" ] ~docv:"DURATION"
+        ~doc:"How long to sustain the load (default 2s).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit one flat JSON object instead of prose.")
+
+let () =
+  let doc = "closed-loop load generator for cqserved's CLASSIFY path" in
+  let cmd =
+    Cmd.v
+      (Cmd.info "cqload" ~version:"1.0.0" ~doc)
+      Term.(
+        const run $ socket_arg $ db_arg $ entities_arg $ workers_arg
+        $ duration_arg $ json_arg)
+  in
+  let code =
+    try Cmd.eval' ~catch:false cmd
+    with e ->
+      Printf.eprintf "cqload: internal error: %s\n" (Printexc.to_string e);
+      5
+  in
+  exit code

@@ -358,6 +358,95 @@ let stats_cmd = simple_cmd "stats" ~doc:"Print service counters." "STATS"
 let list_cmd = simple_cmd "list" ~doc:"List all known job ids." "LIST"
 let ping_cmd = simple_cmd "ping" ~doc:"Check the daemon is alive." "PING"
 
+(* --- serving-tier subcommands ---------------------------------------- *)
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "model" ] ~docv:"PATH" ~doc:"Model file to publish (Model_io format).")
+
+let classify_db_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db" ] ~docv:"PATH"
+        ~doc:"Database file (textfmt), as a path visible to the daemon.")
+
+let entities_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "entities" ] ~docv:"A,B,C"
+        ~doc:"Comma-separated entity names (default: all entities).")
+
+let classify_cmd =
+  let run socket no_retry db entities =
+    setup_retry no_retry;
+    let fields =
+      Printf.sprintf "db=%s" (Job.enc_value db)
+      ^
+      match entities with
+      | None -> ""
+      | Some names -> Printf.sprintf " entities=%s" (Job.enc_value names)
+    in
+    let reply = request socket ("CLASSIFY " ^ fields) in
+    let tag, rest = split_reply reply in
+    if tag <> "OK" then exit_of_reply reply
+    else begin
+      (* "v<N> hits=H cold=C +a -b ..." — verdict tokens to stdout,
+         one entity per line, names decoded; the header to stderr. *)
+      match String.split_on_char ' ' rest with
+      | header :: counters :: rest' ->
+          let verdicts =
+            List.filter (fun t -> t <> "" && (t.[0] = '+' || t.[0] = '-'))
+              (counters :: rest')
+          in
+          Printf.eprintf "cqq: classified %d entities under %s\n"
+            (List.length verdicts) header;
+          List.iter
+            (fun t ->
+              let name =
+                String.sub t 1 (String.length t - 1) |> Job.dec_value
+              in
+              Printf.printf "%c%s\n" t.[0] name)
+            verdicts;
+          0
+      | _ ->
+          Printf.eprintf "cqq: malformed reply: %s\n" reply;
+          3
+    end
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Classify entities of a database with the daemon's current \
+          model; prints one [+name]/[-name] line per entity.")
+    Term.(
+      const run $ socket_arg $ no_retry_arg $ classify_db_arg $ entities_arg)
+
+let publish_cmd =
+  let run socket no_retry model =
+    setup_retry no_retry;
+    exit_of_reply
+      (request socket
+         (Printf.sprintf "PUBLISH model=%s" (Job.enc_value model)))
+  in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:
+         "Publish a model file as a new version and make it the \
+          serving current; prints the version.")
+    Term.(const run $ socket_arg $ no_retry_arg $ model_arg)
+
+let models_cmd =
+  simple_cmd "models" ~doc:"List published model versions and the current."
+    "MODELS"
+
+let rollback_cmd =
+  simple_cmd "rollback"
+    ~doc:"Repoint the serving model at the previous version." "ROLLBACK"
+
 let drain_cmd =
   let run socket no_retry =
     setup_retry no_retry;
@@ -375,7 +464,18 @@ let () =
   let main =
     Cmd.group
       (Cmd.info "cqq" ~version:"1.0.0" ~doc)
-      [ submit_cmd; status_cmd; stats_cmd; list_cmd; drain_cmd; ping_cmd ]
+      [
+        submit_cmd;
+        status_cmd;
+        stats_cmd;
+        list_cmd;
+        drain_cmd;
+        ping_cmd;
+        classify_cmd;
+        publish_cmd;
+        models_cmd;
+        rollback_cmd;
+      ]
   in
   let code =
     try Cmd.eval' ~catch:false main

@@ -542,25 +542,40 @@ let classify_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"EVAL" ~doc:"Evaluation database file.")
   in
-  let run train_path eval_path lang eps timeout fuel isolate grace retry
-      retry_factor =
+  let run train_path eval_path lang dim eps timeout fuel isolate grace retry
+      retry_factor numeric exact_only cert_stats verbose =
     with_input @@ fun () ->
+    setup_logs verbose;
+    set_tier ~numeric ~exact_only;
     let t = read_training train_path in
     let eval_db = read_db eval_path in
     let budget = budget_of ~timeout ~fuel in
     let runner = runner_of ~isolate ~grace ~retry ~retry_factor in
-    let labeling =
-      guarded runner budget (fun () ->
+    let b = match budget with Some b -> b | None -> Budget.unlimited in
+    (* Through the budgeted [_b] entry points, inside the runner: the
+       runner supplies --isolate/--retry (as in sep), the [_b] layer
+       turns exhaustion and solver errors into structured failures
+       either way — [Ok (Error f)] is a failure the worker caught,
+       [Error f] one the runner did (e.g. an isolate crash). *)
+    let result =
+      runner.Guard.run b (fun () ->
           match eps with
-          | None -> Cqfeat.classify lang t eval_db
-          | Some eps -> fst (Cqfeat.apx_classify ~eps lang t eval_db))
+          | None -> Cqfeat.classify_b ?dim lang t eval_db
+          | Some eps ->
+              Result.map fst (Cqfeat.apx_classify_b ~eps lang t eval_db))
+    in
+    let labeling =
+      match result with
+      | Ok (Ok labeling) -> labeling
+      | Ok (Error failure) | Error failure -> fail_with failure
     in
     List.iter
       (fun (e, l) ->
         Printf.printf "%s%s\n"
           (match l with Labeling.Pos -> "+" | Labeling.Neg -> "-")
           (Elem.to_string e))
-      (Labeling.bindings labeling)
+      (Labeling.bindings labeling);
+    finish ~cert_stats 0
   in
   Cmd.v
     (Cmd.info "classify"
@@ -568,8 +583,10 @@ let classify_cmd =
          "Label the entities of an evaluation database consistently with \
           a separating statistic for the training database.")
     Term.(
-      const run $ train_arg $ eval_arg $ lang_arg $ eps_arg $ timeout_arg
-      $ fuel_arg $ isolate_arg $ grace_arg $ retry_arg $ retry_factor_arg)
+      const run $ train_arg $ eval_arg $ lang_arg $ dim_arg $ eps_arg
+      $ timeout_arg $ fuel_arg $ isolate_arg $ grace_arg $ retry_arg
+      $ retry_factor_arg $ numeric_arg $ exact_only_arg $ cert_stats_arg
+      $ verbose_arg)
 
 let dot_cmd =
   let k_arg =

@@ -14,9 +14,17 @@
      LIST                                 -> OK <id> <id> ...
      DRAIN                                -> OK draining
      PING                                 -> OK pong
+   With --models DIR the serving tier is enabled and adds:
+     CLASSIFY db=PATH [entities=A,B,..]   -> OK v<N> hits=H cold=C +a -b ..
+                                           | REJECT <code> <why> | ERR <why>
+     PUBLISH model=PATH                   -> OK v<N> | REJECT invalid <why>
+     MODELS                               -> OK current=v<N> versions=v1,v2..
+     ROLLBACK                             -> OK v<N> | REJECT invalid <why>
    Anything else                          -> ERR <why>
-   The spec key=value syntax is {!Job.spec_of_wire}'s; [deadline] is
-   relative seconds from receipt.
+   The spec key=value syntax is {!Job.spec_of_wire}'s (values
+   percent-escaped); [deadline] is relative seconds from receipt;
+   CLASSIFY replies list verdicts in request order, [+e] positive,
+   [-e] negative, entity names percent-escaped.
 
    Exit codes: 0 clean shutdown (drained), 1 startup error (socket or
    WAL unusable, stale daemon already running), 5 internal error. *)
@@ -111,7 +119,147 @@ let handle_submit svc rest =
   end
   else submit None rest
 
-let handle_request svc ~request_drain line =
+(* --- serving-tier requests ------------------------------------------- *)
+
+(* [key=value] fields of a serving request, values percent-escaped
+   with the same codec the job wire format uses. *)
+let parse_fields rest =
+  let toks =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' rest)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: toks -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" tok)
+        | Some i -> (
+            let k = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            match Job.dec_value v with
+            | v -> go ((k, v) :: acc) toks
+            | exception Failure _ ->
+                Error (Printf.sprintf "bad percent escape in %s" k)))
+  in
+  go [] toks
+
+let reject_reply reject =
+  Printf.sprintf "REJECT %s %s" (Jobq.reject_code reject)
+    (Jobq.reject_to_string reject)
+
+let handle_classify sv rest =
+  match parse_fields rest with
+  | Error why -> "REJECT invalid " ^ why
+  | Ok fields -> (
+      match List.assoc_opt "db" fields with
+      | None -> "REJECT invalid CLASSIFY needs db=PATH"
+      | Some path -> (
+          match Serve.load_db sv path with
+          | Error why -> "ERR " ^ why
+          | Ok (db_key, db) -> (
+              let all = Db.entities db in
+              let requested =
+                match List.assoc_opt "entities" fields with
+                | None -> Ok all
+                | Some names ->
+                    let names =
+                      List.filter
+                        (fun s -> s <> "")
+                        (String.split_on_char ',' names)
+                    in
+                    let by_name =
+                      List.map (fun e -> (Elem.to_string e, e)) all
+                    in
+                    let rec resolve acc = function
+                      | [] -> Ok (List.rev acc)
+                      | n :: ns -> (
+                          match List.assoc_opt n by_name with
+                          | Some e -> resolve (e :: acc) ns
+                          | None ->
+                              Error
+                                (Printf.sprintf "unknown entity %S in %s" n
+                                   path))
+                    in
+                    resolve [] names
+              in
+              match requested with
+              | Error why -> "REJECT invalid " ^ why
+              | Ok entities -> (
+                  match Serve.classify sv ~db_key ~db entities with
+                  | Serve.Shed reject -> reject_reply reject
+                  | Serve.Failed f -> "ERR eval: " ^ Guard.failure_to_string f
+                  | Serve.Served s ->
+                      let verdicts =
+                        List.map
+                          (fun (e, lab) ->
+                            let sign =
+                              match lab with
+                              | Labeling.Pos -> "+"
+                              | Labeling.Neg -> "-"
+                            in
+                            sign ^ Job.enc_value (Elem.to_string e))
+                          s.Serve.sv_results
+                      in
+                      String.concat " "
+                        (Printf.sprintf "OK v%d hits=%d cold=%d"
+                           s.Serve.sv_version s.Serve.sv_hits s.Serve.sv_cold
+                        :: verdicts)))))
+
+let handle_publish sv rest =
+  match parse_fields rest with
+  | Error why -> "REJECT invalid " ^ why
+  | Ok fields -> (
+      match List.assoc_opt "model" fields with
+      | None -> "REJECT invalid PUBLISH needs model=PATH"
+      | Some path -> (
+          match Model_io.load path with
+          | exception Model_io.Parse_error why ->
+              "REJECT invalid model file rejected: " ^ why
+          | exception Sys_error why -> "ERR " ^ why
+          | m -> (
+              match Serve.publish sv m with
+              | v -> Printf.sprintf "OK v%d" v
+              | exception Sys_error why -> "ERR publish failed: " ^ why
+              | exception Unix.Unix_error (e, _, _) ->
+                  "ERR publish failed: " ^ Unix.error_message e)))
+
+let handle_models sv =
+  let current, versions = Serve.models sv in
+  let cur =
+    match current with Some v -> Printf.sprintf "v%d" v | None -> "none"
+  in
+  Printf.sprintf "OK current=%s versions=%s" cur
+    (String.concat "," (List.map (Printf.sprintf "v%d") versions))
+
+let handle_rollback sv =
+  match Serve.rollback sv with
+  | Ok v -> Printf.sprintf "OK v%d" v
+  | Error why -> "REJECT invalid " ^ why
+  | exception Sys_error why -> "ERR rollback failed: " ^ why
+  | exception Unix.Unix_error (e, _, _) ->
+      "ERR rollback failed: " ^ Unix.error_message e
+
+let serve_stats sv =
+  let s = Serve.stats sv in
+  let cur =
+    match s.Serve.st_version with
+    | Some v -> Printf.sprintf "v%d" v
+    | None -> "none"
+  in
+  Printf.sprintf
+    " model=%s eval_batches=%d eval_entities=%d eval_hits=%d eval_cold=%d \
+     eval_shed_overload=%d eval_shed_breaker=%d eval_failures=%d publishes=%d \
+     rollbacks=%d"
+    cur s.Serve.st_served_batches s.Serve.st_served_entities
+    s.Serve.st_cache.Eval_cache.hits s.Serve.st_cold_evals
+    s.Serve.st_shed_overload s.Serve.st_shed_breaker s.Serve.st_eval_failures
+    s.Serve.st_publishes s.Serve.st_rollbacks
+
+let with_serving serve_opt k =
+  match serve_opt with
+  | Some sv -> k sv
+  | None -> "ERR serving disabled (start cqserved with --models DIR)"
+
+let handle_request svc ~serve_opt ~request_drain line =
   let cmd, rest = split_command (String.trim line) in
   match cmd with
   | "PING" -> "OK pong"
@@ -126,23 +274,29 @@ let handle_request svc ~request_drain line =
   | "STATS" ->
       let s = Service.stats svc in
       Printf.sprintf
-        "OK queued=%d running=%d done=%d failed=%d shed=%d draining=%b"
+        "OK queued=%d running=%d done=%d failed=%d shed=%d draining=%b%s"
         s.Service.queued s.Service.running s.Service.done_ s.Service.failed
         s.Service.shed s.Service.draining
+        (match serve_opt with Some sv -> serve_stats sv | None -> "")
   | "LIST" -> "OK " ^ String.concat " " (Service.job_ids svc)
+  | "CLASSIFY" -> with_serving serve_opt (fun sv -> handle_classify sv rest)
+  | "PUBLISH" -> with_serving serve_opt (fun sv -> handle_publish sv rest)
+  | "MODELS" -> with_serving serve_opt handle_models
+  | "ROLLBACK" -> with_serving serve_opt handle_rollback
   | "DRAIN" ->
       request_drain ();
       "OK draining"
   | "" -> "ERR empty request"
   | other -> "ERR unknown command: " ^ other
 
-let serve_client svc ~request_drain fd =
+let serve_client svc ~serve_opt ~request_drain fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       match read_request fd with
       | Error why -> write_reply fd ("ERR " ^ why)
-      | Ok line -> write_reply fd (handle_request svc ~request_drain line))
+      | Ok line ->
+          write_reply fd (handle_request svc ~serve_opt ~request_drain line))
 
 (* --- socket lifecycle ----------------------------------------------- *)
 
@@ -210,7 +364,7 @@ let listen_on path =
 
 let stop_requested = ref false
 
-let serve cfg ~socket_path =
+let serve cfg ~socket_path ~models_dir ~serve_cfg =
   let svc =
     match Service.start cfg with
     | svc -> svc
@@ -218,6 +372,25 @@ let serve cfg ~socket_path =
         log "cqserved: cannot open WAL %s: %s" cfg.Service.wal_path
           (Unix.error_message err);
         exit 1
+  in
+  let serve_opt =
+    match models_dir with
+    | None -> None
+    | Some dir -> (
+        match Model_store.open_ ~dir with
+        | store ->
+            let sv = Serve.create ~config:serve_cfg store in
+            log "cqserved: serving models from %s (%d versions, current %s)"
+              dir
+              (List.length (Model_store.list store))
+              (match Model_store.current_version store with
+              | Some v -> Printf.sprintf "v%d" v
+              | None -> "none");
+            Some sv
+        | exception Unix.Unix_error (err, _, _) ->
+            log "cqserved: cannot open model store %s: %s" dir
+              (Unix.error_message err);
+            exit 1)
   in
   let listen_fd = listen_on socket_path in
   (* Workers must not hold the listener open past a daemon crash. *)
@@ -260,7 +433,7 @@ let serve cfg ~socket_path =
       | ready, _, _ ->
           if List.mem listen_fd ready then begin
             match Unix.accept listen_fd with
-            | fd, _ -> serve_client svc ~request_drain fd
+            | fd, _ -> serve_client svc ~serve_opt ~request_drain fd
             | exception Unix.Unix_error (_, _, _) -> ()
           end
           (* Worker pipes that woke us are pumped by the next step. *)
@@ -383,7 +556,49 @@ let grace_arg =
         ~doc:"Extra wall clock past a job's deadline before its worker \
               is SIGKILLed (default 1s).")
 
-let run socket wal pool queue timeout retries backoff threshold cooldown grace =
+let models_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "models" ] ~docv:"DIR"
+        ~doc:
+          "Enable the serving tier: versioned model store directory \
+           (created if missing, crash residue repaired on open). Adds \
+           the CLASSIFY/PUBLISH/MODELS/ROLLBACK protocol verbs.")
+
+let eval_rate_arg =
+  Arg.(
+    value
+    & opt float Serve.default_config.Serve.eval_rate
+    & info [ "eval-rate" ] ~docv:"N"
+        ~doc:
+          "Cold-entity evaluations admitted per second; beyond it \
+           CLASSIFY batches needing cold work are shed with REJECT \
+           overload (cache-hit batches always serve). Default 500.")
+
+let eval_burst_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "eval-burst" ] ~docv:"N"
+        ~doc:"Token-bucket depth in cold evaluations (default 2x rate).")
+
+let eval_timeout_arg =
+  Arg.(
+    value
+    & opt duration_conv 5.0
+    & info [ "eval-timeout" ] ~docv:"DURATION"
+        ~doc:"Wall-clock budget per CLASSIFY batch (default 5s).")
+
+let cache_size_arg =
+  Arg.(
+    value
+    & opt int Serve.default_config.Serve.cache_capacity
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"Verdict-cache capacity in entries (default 65536).")
+
+let run socket wal pool queue timeout retries backoff threshold cooldown grace
+    models eval_rate eval_burst eval_timeout cache_size =
   let cfg =
     {
       Service.wal_path = wal;
@@ -397,7 +612,18 @@ let run socket wal pool queue timeout retries backoff threshold cooldown grace =
       grace;
     }
   in
-  match serve cfg ~socket_path:socket with
+  let serve_cfg =
+    {
+      Serve.default_config with
+      Serve.eval_rate;
+      eval_burst =
+        (match eval_burst with Some b -> b | None -> 2.0 *. eval_rate);
+      eval_timeout = Some eval_timeout;
+      cache_capacity = cache_size;
+      breaker_threshold = threshold;
+    }
+  in
+  match serve cfg ~socket_path:socket ~models_dir:models ~serve_cfg with
   | code -> code
   | exception Invalid_argument msg ->
       log "cqserved: %s" msg;
@@ -411,7 +637,8 @@ let () =
       Term.(
         const run $ socket_arg $ wal_arg $ pool_arg $ queue_arg $ timeout_arg
         $ retries_arg $ backoff_arg $ breaker_threshold_arg
-        $ breaker_cooldown_arg $ grace_arg)
+        $ breaker_cooldown_arg $ grace_arg $ models_arg $ eval_rate_arg
+        $ eval_burst_arg $ eval_timeout_arg $ cache_size_arg)
   in
   let code =
     try Cmd.eval' ~catch:false cmd

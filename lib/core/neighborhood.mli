@@ -1,0 +1,26 @@
+(** Canonical entity neighborhoods, the cache key behind serving.
+
+    A connected feature query with [m] atoms only sees facts within
+    [m] hops of the entity: the verdict of a model whose features are
+    all connected is a function of the pointed radius-[r] fact ball
+    alone, for [r] the largest feature atom count. [key] serializes
+    that ball under a deterministic injective renaming, so {e equal
+    keys imply equal verdicts} — across entities and across databases.
+    Canonicity is best effort (structural ties fall back to original
+    element names), which can only reduce the hit rate, never
+    soundness. *)
+
+(** [connected q] — are the atoms of [q] connected through shared
+    variables, anchored at the free variable? *)
+val connected : Cq.t -> bool
+
+(** [model_radius stat] is [Some r] with [r >= 1] the locality radius
+    of the statistic iff every feature is connected; [None] when some
+    feature is disconnected and neighborhood keys would be unsound. *)
+val model_radius : Statistic.t -> int option
+
+(** [key ~radius db e] is the canonical serialization of the pointed
+    fact ball of radius [radius] around [e]: all facts whose nearest
+    element lies within distance [radius - 1]. Runs under the ambient
+    {!Budget}. *)
+val key : radius:int -> Db.t -> Elem.t -> string

@@ -44,6 +44,16 @@ val spec_to_wire : spec -> string
 val spec_of_wire : string -> (spec, string) result
 (** Parse and {!validate} a wire line. *)
 
+val enc_value : string -> string
+(** Percent-escape a field value for the one-line wire format
+    (escapes ['%'], space and control bytes). Shared by the other
+    protocol verbs (CLASSIFY/PUBLISH) so every value on the wire
+    round-trips the same way. *)
+
+val dec_value : string -> string
+(** Inverse of {!enc_value}.
+    @raise Failure on a malformed percent escape. *)
+
 val execute :
   ?retry:int * float -> ?jitter_seed:int -> spec ->
   (string, Guard.failure) result

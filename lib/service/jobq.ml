@@ -20,6 +20,7 @@ type reject =
   | Queue_full of int
   | Deadline_unmeetable of { wait : float; slack : float }
   | Breaker_open of { job_class : string; retry_after : float }
+  | Overloaded of { retry_after : float }
   | Draining
   | Invalid of string
 
@@ -27,6 +28,7 @@ let reject_code = function
   | Queue_full _ -> "busy"
   | Deadline_unmeetable _ -> "deadline"
   | Breaker_open _ -> "breaker"
+  | Overloaded _ -> "overload"
   | Draining -> "draining"
   | Invalid _ -> "invalid"
 
@@ -39,6 +41,8 @@ let reject_to_string = function
   | Breaker_open { job_class; retry_after } ->
       Printf.sprintf "circuit breaker open for %s jobs; retry in %.1fs"
         job_class retry_after
+  | Overloaded { retry_after } ->
+      Printf.sprintf "eval admission rate exceeded; retry in %.3fs" retry_after
   | Draining -> "service is draining; not accepting jobs"
   | Invalid msg -> Printf.sprintf "invalid job: %s" msg
 

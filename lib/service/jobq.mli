@@ -10,14 +10,16 @@
     entry whose deadline already passed while it queued. *)
 
 (** Why a submission was refused. Stable wire codes via
-    {!reject_code}: [busy], [deadline], [breaker], [draining],
-    [invalid]. *)
+    {!reject_code}: [busy], [deadline], [breaker], [overload],
+    [draining], [invalid]. *)
 type reject =
   | Queue_full of int  (** the bounded queue is at capacity *)
   | Deadline_unmeetable of { wait : float; slack : float }
       (** projected queue wait already exceeds the job's slack *)
   | Breaker_open of { job_class : string; retry_after : float }
       (** the per-class circuit breaker is open *)
+  | Overloaded of { retry_after : float }
+      (** the serving tier's eval admission rate is exhausted *)
   | Draining  (** the service is draining (SIGTERM) *)
   | Invalid of string  (** the job spec failed validation *)
 

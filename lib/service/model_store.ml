@@ -1,0 +1,125 @@
+(* Versioned on-disk model store with crash-only recovery.
+
+   Layout: one [v%06d.model] file per published version (written by
+   [Model_io.save]: temp + fsync + rename + directory fsync, with an
+   integrity header) and a [CURRENT] pointer file naming the serving
+   version, rewritten with the same atomic primitive. A publish
+   orders the two writes model-file-first, so every state a crash can
+   expose is well-formed:
+
+   - crash before the model rename: only a temp file exists; [open_]
+     removes it and serves the previous CURRENT;
+   - crash between model rename and CURRENT rename: the new version
+     file is complete but unreferenced; CURRENT still names the old
+     version, which is exactly "publish not acked, old model served";
+   - crash after CURRENT rename: the publish is durable.
+
+   Version numbers are monotone over the store's whole history — the
+   counter resumes past every version ever seen on disk (valid or
+   corrupt, referenced or not), so a rollback never reuses a number
+   and observers can order publishes by version alone. *)
+
+type t = {
+  dir : string;
+  mutable versions : int list;  (* valid, ascending *)
+  mutable current : int option;
+  mutable next : int;
+}
+
+let model_file dir v = Filename.concat dir (Printf.sprintf "v%06d.model" v)
+let current_file dir = Filename.concat dir "CURRENT"
+
+let parse_version name =
+  if
+    String.length name = 13
+    && String.sub name 0 1 = "v"
+    && String.sub name 7 6 = ".model"
+  then int_of_string_opt (String.sub name 1 6)
+  else None
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n > 0 && at 0
+
+let valid_model dir v =
+  match Model_io.load (model_file dir v) with
+  | (_ : Model_io.model) -> true
+  | exception Model_io.Parse_error _ -> false
+  | exception Sys_error _ -> false
+
+let read_current dir =
+  match open_in_bin (current_file dir) with
+  | exception Sys_error _ -> None
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let s = String.trim s in
+      if String.length s > 1 && s.[0] = 'v' then
+        int_of_string_opt (String.sub s 1 (String.length s - 1))
+      else None
+
+let open_ ~dir =
+  (match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  let versions = ref [] and max_seen = ref 0 in
+  Array.iter
+    (fun name ->
+      (* Crash-only cleanup: a temp file is by definition an
+         unfinished write from a dead process. *)
+      if contains_sub ~sub:".tmp." name then
+        (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      else
+        match parse_version name with
+        | None -> ()
+        | Some v ->
+            max_seen := max !max_seen v;
+            if valid_model dir v then versions := v :: !versions)
+    entries;
+  let versions = List.sort compare !versions in
+  let current =
+    match read_current dir with
+    | Some v when List.mem v versions -> Some v
+    | Some _ | None -> (
+        (* Missing or dangling CURRENT: fall back to the newest valid
+           version (a publish whose CURRENT flip did not survive). *)
+        match List.rev versions with [] -> None | v :: _ -> Some v)
+  in
+  { dir; versions; current; next = !max_seen + 1 }
+
+let dir t = t.dir
+let list t = t.versions
+let current_version t = t.current
+
+let load t v =
+  if not (List.mem v t.versions) then
+    invalid_arg (Printf.sprintf "Model_store.load: no version %d" v);
+  Model_io.load (model_file t.dir v)
+
+let set_current t v =
+  Model_io.atomic_write (current_file t.dir) (Printf.sprintf "v%06d\n" v);
+  t.current <- Some v
+
+let publish t m =
+  let v = t.next in
+  Model_io.save (model_file t.dir v) m;
+  t.next <- v + 1;
+  t.versions <- t.versions @ [ v ];
+  set_current t v;
+  v
+
+let rollback t =
+  match t.current with
+  | None -> Error "no model published"
+  | Some c -> (
+      match List.rev (List.filter (fun v -> v < c) t.versions) with
+      | [] -> Error "no earlier version to roll back to"
+      | v :: _ ->
+          set_current t v;
+          Ok v)

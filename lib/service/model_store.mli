@@ -1,0 +1,38 @@
+(** Versioned on-disk model store with crash-only recovery.
+
+    One [v%06d.model] file per published version plus a [CURRENT]
+    pointer, every write via {!Model_io}'s atomic durable-replace. A
+    crash at any point leaves either the old current version or the
+    new one — never a torn file, never a mix — and {!open_} repairs
+    the residue (temp files, a dangling pointer) without operator
+    input. Version numbers are monotone across the store's history;
+    rollback repoints, it never renumbers. *)
+
+type t
+
+(** [open_ ~dir] creates [dir] if needed, removes unfinished temp
+    files, validates every version file (checksum included) and
+    resolves the current version: the one CURRENT names if valid,
+    else the newest valid version, else none. *)
+val open_ : dir:string -> t
+
+val dir : t -> string
+
+(** Valid versions, ascending. *)
+val list : t -> int list
+
+val current_version : t -> int option
+
+(** [load t v] loads a listed version.
+    @raise Invalid_argument when [v] is not in [list t].
+    @raise Model_io.Parse_error if the file was corrupted since
+    [open_]. *)
+val load : t -> int -> Model_io.model
+
+(** [publish t m] durably writes [m] as a fresh version, then flips
+    CURRENT to it. Returns the new version number. *)
+val publish : t -> Model_io.model -> int
+
+(** [rollback t] repoints CURRENT at the newest version older than
+    the current one. *)
+val rollback : t -> (int, string) result
